@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 13 reproduction: end-to-end speedup and energy efficiency of
+ * the five systems (Original+SRAM, Original+eDRAM, AEP+SRAM,
+ * AERP+SRAM, Kelle+eDRAM) on the four serving tasks (LA, TQ, QP,
+ * PG19) with LLaMA2-7B at batch 16, plus the on-chip energy-breakdown
+ * pies of the Kelle+eDRAM system and the stepwise contribution
+ * analysis of Section 8.1.3.
+ */
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/experiments.hpp"
+
+using namespace kelle;
+
+int
+main()
+{
+    const auto model = model::llama2_7b();
+    const auto tasks = sim::hardwareTasks();
+
+    bench::banner("Figure 13: speedup and energy efficiency vs "
+                  "Original+SRAM (LLaMA2-7B, batch 16)");
+    Table t({"task", "system", "speedup", "energy_eff"});
+    std::map<std::string, std::vector<sim::SystemResult>> per_task;
+    for (const auto &task : tasks) {
+        auto results = sim::runFigure13(task, model, 16);
+        for (const auto &r : results) {
+            t.addRow({task.name, r.system, Table::mult(r.speedup),
+                      Table::mult(r.energyEfficiency)});
+        }
+        per_task[task.name] = std::move(results);
+    }
+    t.print();
+
+    // Averages across tasks (the paper's headline numbers).
+    Table avg({"system", "avg speedup", "avg energy_eff"});
+    const char *systems[] = {"Original+SRAM", "Original+eDRAM",
+                             "AEP+SRAM", "AERP+SRAM", "Kelle+eDRAM"};
+    for (std::size_t s = 0; s < 5; ++s) {
+        double sp = 0.0, ee = 0.0;
+        for (const auto &task : tasks) {
+            sp += per_task[task.name][s].speedup;
+            ee += per_task[task.name][s].energyEfficiency;
+        }
+        avg.addRow({systems[s], Table::mult(sp / tasks.size()),
+                    Table::mult(ee / tasks.size())});
+    }
+    avg.print("\ntask-averaged (paper: Kelle+eDRAM 3.94x speedup, "
+              "4.46x energy efficiency):");
+
+    // Stepwise contributions (Section 8.1.3).
+    bench::banner("Section 8.1.3: individual contributions "
+                  "(task-averaged ratios between consecutive systems)");
+    Table steps({"step", "speedup", "energy_eff", "paper"});
+    auto ratio = [&](std::size_t a, std::size_t b, const char *name,
+                     const char *paper) {
+        double sp = 0.0, ee = 0.0;
+        for (const auto &task : tasks) {
+            sp += per_task[task.name][b].speedup /
+                  per_task[task.name][a].speedup;
+            ee += per_task[task.name][b].energyEfficiency /
+                  per_task[task.name][a].energyEfficiency;
+        }
+        steps.addRow({name, Table::mult(sp / tasks.size()),
+                      Table::mult(ee / tasks.size()), paper});
+    };
+    ratio(0, 1, "eDRAM alone (Org+SRAM -> Org+eDRAM)",
+          "1.32x / 0.72x");
+    ratio(0, 2, "eviction+SE (Org+SRAM -> AEP+SRAM)", "2.39x / 2.41x");
+    ratio(2, 3, "recompute (AEP -> AERP)", "1.19x / 1.27x");
+    ratio(3, 4, "eDRAM+2DRP+scheduler (AERP+SRAM -> Kelle)",
+          "1.29x / 1.45x");
+    steps.print();
+
+    // On-chip energy pies for Kelle+eDRAM (Figure 13 insets).
+    bench::banner("Kelle+eDRAM on-chip energy breakdown per task "
+                  "(Figure 13 pie charts)");
+    Table pies({"task", "RSA", "KV mem+refresh", "weight SRAM", "SFU"});
+    for (const auto &task : tasks) {
+        const auto &kelle = per_task[task.name][4].report;
+        accel::EnergyBreakdown e = kelle.prefillEnergy;
+        e += kelle.decodeEnergy;
+        const double on = e.onChipTotal().j();
+        pies.addRow({task.name, Table::pct(e.rsa.j() / on),
+                     Table::pct((e.kvMem + e.refresh).j() / on),
+                     Table::pct(e.weightSram.j() / on),
+                     Table::pct(e.sfu.j() / on)});
+    }
+    pies.print();
+    bench::note("paper pies: RSA 12-17%, KV 17-30%, SRAM 56-66%");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4 reproduction: 65 nm eDRAM retention failure rate vs refresh
+ * interval at 105 C, plus the paper's annotated points and the 2DRP
+ * interval set of Section 7.1 (average failure rate ~2e-3, average
+ * interval 1.05 ms).
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "edram/refresh_policy.hpp"
+#include "edram/retention.hpp"
+
+using namespace kelle;
+
+int
+main()
+{
+    const auto retention = edram::RetentionModel::paper65nm();
+
+    std::printf("=== Figure 4: retention failure rate vs refresh "
+                "interval (65 nm, 105 C) ===\n\n");
+
+    Table sweep({"interval_us", "failure_rate"});
+    for (double us : {1.0, 4.5, 10.0, 45.0, 100.0, 250.0, 784.0, 1778.0,
+                      4000.0, 9120.0, 20000.0, 100000.0}) {
+        sweep.addRow({Table::num(us, 1),
+                      Table::num(retention.failureProbability(
+                                     Time::micros(us)), 8)});
+    }
+    sweep.print("failure-rate sweep (paper-annotated points included):");
+
+    Table anchors({"paper point", "interval", "paper rate", "model rate"});
+    anchors.addRow({"retention floor", "45 us", "1e-6",
+                    Table::num(retention.failureProbability(
+                                   Time::micros(45)), 8)});
+    anchors.addRow({"mid", "1778 us", "1e-3",
+                    Table::num(retention.failureProbability(
+                                   Time::micros(1778)), 6)});
+    anchors.addRow({"tail", "9120 us", "~1e-2",
+                    Table::num(retention.failureProbability(
+                                   Time::micros(9120)), 6)});
+    anchors.print("calibration anchors:");
+
+    const auto intervals = edram::RefreshIntervals::paper2drp();
+    const edram::TwoDRefreshPolicy policy(intervals, retention);
+    Table groups({"2DRP group", "interval_ms", "failure_rate"});
+    for (std::size_t g = 0; g < edram::kNumRefreshGroups; ++g) {
+        const auto group = static_cast<edram::RefreshGroup>(g);
+        groups.addRow({edram::toString(group),
+                       Table::num(intervals.of(group).ms(), 2),
+                       Table::num(policy.failureRate(group), 6)});
+    }
+    groups.print("2DRP deployment set (Section 7.1):");
+
+    std::printf("average refresh interval (harmonic): %.3f ms "
+                "(paper: 1.05 ms)\n",
+                intervals.averageInterval().ms());
+    std::printf("average retention failure rate: %.2e (paper: ~2e-3)\n",
+                policy.averageFailureRate());
+    std::printf("iso-accuracy uniform interval: %.0f us\n",
+                policy.isoAccuracyUniformInterval().us());
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Google-benchmark microbenches for the hot simulator kernels: the
+ * cycle-level systolic array, the systolic evictor (Section 8.1.4
+ * overhead study), Softermax, the eDRAM fault injector and the
+ * managed KV cache datapath.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/sfu.hpp"
+#include "accel/systolic_array.hpp"
+#include "accel/systolic_evictor.hpp"
+#include "common/rng.hpp"
+#include "edram/fault_model.hpp"
+#include "kvcache/managed_kv_cache.hpp"
+
+using namespace kelle;
+
+namespace {
+
+accel::Int8Matrix
+randomI8(std::size_t r, std::size_t c, Rng &rng)
+{
+    accel::Int8Matrix m(r, c);
+    for (auto &v : m.data)
+        v = static_cast<std::int8_t>(
+            static_cast<int>(rng.below(255)) - 127);
+    return m;
+}
+
+void
+BM_SystolicArrayTile(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    accel::SystolicArray rsa(32, 32);
+    const auto a = randomI8(dim, 32, rng);
+    const auto w = randomI8(32, 32, rng);
+    rsa.loadWeights(w);
+    for (auto _ : state) {
+        auto out = rsa.stream(a);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            dim * 32 * 32);
+}
+BENCHMARK(BM_SystolicArrayTile)->Arg(32)->Arg(128)->Arg(512);
+
+void
+BM_SystolicEvictorPass(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    std::vector<float> scores(n);
+    for (auto &v : scores)
+        v = static_cast<float>(rng.uniform(0.0, 100.0));
+    accel::SystolicEvictor se(n);
+    se.loadScores(scores);
+    for (auto _ : state) {
+        se.beginPass();
+        for (std::size_t i = 0; i < n; ++i)
+            se.onOutput(i, 0, static_cast<std::int32_t>(i % 7), 0);
+        benchmark::DoNotOptimize(se.finalize());
+    }
+}
+BENCHMARK(BM_SystolicEvictorPass)->Arg(128)->Arg(2048);
+
+void
+BM_SoftwareArgminEviction(benchmark::State &state)
+{
+    // The software alternative the systolic evictor replaces:
+    // re-scan all importance scores per step (Section 8.1.4).
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    std::vector<float> scores(n);
+    for (auto &v : scores)
+        v = static_cast<float>(rng.uniform(0.0, 100.0));
+    for (auto _ : state) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i)
+            if (scores[i] < scores[best])
+                best = i;
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_SoftwareArgminEviction)->Arg(128)->Arg(2048);
+
+void
+BM_Softermax(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    accel::Sfu sfu;
+    Rng rng(4);
+    std::vector<float> base(n);
+    for (auto &v : base)
+        v = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        std::vector<float> x = base;
+        sfu.softermax(x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Softermax)->Arg(128)->Arg(2048);
+
+void
+BM_FaultInjection(benchmark::State &state)
+{
+    const double rate = 1e-3;
+    auto inj = edram::RefreshFaultModel::uniformRate(rate, 5);
+    std::vector<std::uint16_t> words(
+        static_cast<std::size_t>(state.range(0)), 0x1234);
+    kv::FaultContext ctx{true};
+    for (auto _ : state) {
+        inj.corrupt(words, ctx);
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0) * 16);
+}
+BENCHMARK(BM_FaultInjection)->Arg(1024)->Arg(65536);
+
+void
+BM_KvCacheAppendGather(benchmark::State &state)
+{
+    const std::size_t heads = 8, hd = 16, d = 128;
+    auto cfg = kv::makeAerpConfig(static_cast<std::size_t>(state.range(0)),
+                                  4, 16);
+    cfg.recompute = false;
+    kv::ManagedKvCache cache(cfg, 1, heads, hd, d);
+    Rng rng(6);
+    std::vector<float> k(heads * hd), v(heads * hd), x(d);
+    for (auto &f : k)
+        f = static_cast<float>(rng.gaussian());
+    for (auto &f : v)
+        f = static_cast<float>(rng.gaussian());
+    std::int64_t pos = 0;
+    for (auto _ : state) {
+        cache.append(0, pos++, k, v, x);
+        auto g = cache.gather(0, pos % heads);
+        benchmark::DoNotOptimize(g.k.data());
+    }
+}
+BENCHMARK(BM_KvCacheAppendGather)->Arg(64)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 1 reproduction: 65 nm, 4 MB SRAM vs eDRAM characteristics
+ * (area, access latency, access energy, leakage, refresh energy,
+ * retention time) as embedded in the technology models.
+ */
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "edram/edram_array.hpp"
+#include "memory/memory_model.hpp"
+
+using namespace kelle;
+
+int
+main()
+{
+    bench::banner("Table 1: SRAM vs eDRAM comparison (65 nm, 4 MB)");
+
+    const auto sram = mem::sram(Bytes::mib(4), Bandwidth::gibPerSec(128));
+    const auto edram =
+        mem::edram(Bytes::mib(4), Bandwidth::gibPerSec(256));
+    edram::EdramArrayConfig earr;
+
+    Table t({"", "Area", "Access Latency", "Access Energy",
+             "Leakage Power", "Refresh Energy", "Retention Time"});
+    t.addRow({"SRAM", Table::num(sram.area().inMm2(), 1) + " mm^2",
+              Table::num(sram.accessLatency().ns(), 1) + " ns",
+              Table::num(sram.accessEnergy().pjPerByte(), 1) + " pJ/B",
+              Table::num(sram.leakage().mw(), 0) + " mW", "NA", "NA"});
+    const double refresh_mj =
+        earr.refreshEnergy.value * Bytes::mib(4).b() * 1e3;
+    t.addRow({"eDRAM", Table::num(edram.area().inMm2(), 1) + " mm^2",
+              Table::num(edram.accessLatency().ns(), 1) + " ns",
+              Table::num(edram.accessEnergy().pjPerByte(), 1) + " pJ/B",
+              Table::num(edram.leakage().mw(), 0) + " mW",
+              Table::num(refresh_mj, 2) + " mJ", "45 us"});
+    t.print();
+
+    bench::note("paper Table 1: SRAM 7.3 mm^2 / 2.6 ns / 185.9 pJ/B / "
+                "415 mW; eDRAM 3.2 mm^2 / 1.9 ns / 84.8 pJ/B / 154 mW / "
+                "1.14 mJ / 45 us");
+
+    Table density({"metric", "SRAM", "eDRAM", "ratio"});
+    density.addRow({"area @4MB (mm^2)",
+                    Table::num(sram.area().inMm2(), 2),
+                    Table::num(edram.area().inMm2(), 2),
+                    Table::mult(sram.area() / edram.area())});
+    density.addRow({"leakage (mW)", Table::num(sram.leakage().mw(), 0),
+                    Table::num(edram.leakage().mw(), 0),
+                    Table::mult(sram.leakage().w() / edram.leakage().w())});
+    density.print("\ndensity / leakage advantages (Sections 1, 2.3):");
+    bench::note("paper: >2x density, ~3.5x leakage (vs 2.7x from the "
+                "Destiny-characterized Table 1 values embedded here)");
+    return 0;
+}

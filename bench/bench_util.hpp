@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses: headers and run banners.
+ */
+
+#ifndef KELLE_BENCH_BENCH_UTIL_HPP
+#define KELLE_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+
+namespace kelle {
+namespace bench {
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/** Print a paper-vs-measured note line. */
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace kelle
+
+#endif // KELLE_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Edge chatbot serving scenario.
+ *
+ * Models the workload the paper's introduction motivates: an
+ * interactive assistant on an edge device, serving multi-turn chats
+ * with LLaMA2-7B. Each turn appends the user prompt (pre-filling) and
+ * streams a reply (decoding). The example runs the same session on
+ * the Original+SRAM baseline and on Kelle+eDRAM and reports per-turn
+ * latency, tokens/s and energy from the analytic hardware model.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accel/timing_model.hpp"
+#include "common/units.hpp"
+
+using namespace kelle;
+using namespace kelle::accel;
+
+namespace {
+
+struct Turn
+{
+    std::size_t promptTokens;
+    std::size_t replyTokens;
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto model = model::llama2_7b();
+    // A plausible assistant session: growing context across turns.
+    const std::vector<Turn> session = {
+        {64, 128}, {48, 256}, {96, 192}, {32, 384},
+    };
+
+    const SystemConfig systems[] = {originalSramSystem(),
+                                    kelleEdramSystem(1024)};
+
+    std::printf("Edge chatbot session, %s, batch 1\n\n",
+                model.name.c_str());
+    std::printf("%-14s %-6s %-12s %-12s %-10s %-10s\n", "system", "turn",
+                "ttft (s)", "reply (s)", "tok/s", "energy (J)");
+
+    for (const auto &sys : systems) {
+        std::size_t history = 0;
+        double total_latency = 0.0, total_energy = 0.0;
+        for (std::size_t i = 0; i < session.size(); ++i) {
+            Workload w;
+            w.model = model;
+            w.ctxLen = history + session[i].promptTokens;
+            w.decLen = session[i].replyTokens;
+            w.batch = 1;
+            const auto r = simulate(sys, w);
+
+            const double reply_s = r.decodeLatency.sec();
+            std::printf("%-14s %-6zu %-12.2f %-12.2f %-10.2f %-10.1f\n",
+                        sys.name.c_str(), i + 1,
+                        r.prefillLatency.sec(), reply_s,
+                        static_cast<double>(w.decLen) / reply_s,
+                        r.totalEnergy().j());
+            history = w.ctxLen + w.decLen;
+            total_latency += r.totalLatency().sec();
+            total_energy += r.totalEnergy().j();
+        }
+        std::printf("%-14s total: %.1f s, %.0f J\n\n", sys.name.c_str(),
+                    total_latency, total_energy);
+    }
+
+    std::printf("Kelle's wins compound with context: AERP caps the KV "
+                "working set,\neDRAM stages it at 84.8 pJ/B instead of "
+                "185.9, and 2DRP keeps refresh\nnegligible.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Refresh-policy design-space exploration.
+ *
+ * Given an eDRAM retention distribution, how should the four 2DRP
+ * intervals be set? This example sweeps the deployment set across
+ * scale factors, measuring (a) refresh power on the banked array
+ * model and (b) model quality through fault injection — producing the
+ * accuracy/energy trade-off curve a deployment engineer would use to
+ * pick the operating point (the paper picks the knee: average
+ * interval 1.05 ms, ~2e-3 average failure rate).
+ */
+
+#include <cstdio>
+
+#include "edram/edram_array.hpp"
+#include "edram/fault_model.hpp"
+#include "sim/experiments.hpp"
+
+using namespace kelle;
+
+int
+main()
+{
+    const auto retention = edram::RetentionModel::paper65nm();
+    sim::Task task = sim::scaledForTiny(sim::wikitext2(), 144);
+    sim::MultiSeedBench bench(task, /*seeds=*/2, /*base=*/31);
+    const auto cfg = sim::cacheConfigFor(task, kv::Policy::Aerp);
+
+    std::printf("refresh design-space sweep (4 MB array, 2DRP interval "
+                "set scaled around the paper's deployment point)\n\n");
+    std::printf("%-8s %-14s %-14s %-14s %-10s %-10s\n", "scale",
+                "avg interval", "avg fail rate", "refresh power", "PPL",
+                "agreement");
+
+    for (double scale : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+        const auto intervals =
+            edram::RefreshIntervals::paper2drp().scaled(scale);
+        const edram::TwoDRefreshPolicy policy(intervals, retention);
+
+        // Refresh power of a fully-occupied 4 MB array: run the banked
+        // model for 100 ms of wall time with all rows valid.
+        edram::EdramArrayConfig acfg; // 4 MB default
+        edram::KvEdramArray array(acfg, intervals);
+        const std::size_t rows = acfg.rowCapacity();
+        for (std::size_t r = 0; r < rows; ++r) {
+            array.writeRow(r, Time::seconds(0));
+            array.setScore(r, static_cast<std::uint8_t>(r % 16));
+        }
+        const Time horizon = Time::millis(100);
+        array.advanceTo(horizon);
+        const Power refresh_power =
+            array.refreshEnergySpent() / horizon;
+
+        const auto eval = bench.run(cfg, [&](std::uint64_t seed) {
+            return std::make_unique<edram::RefreshFaultModel>(policy,
+                                                              seed);
+        });
+
+        std::printf("%-8.3f %-14s %-14.2e %-14s %-10.3f %-10.1f%%\n",
+                    scale,
+                    toString(intervals.averageInterval()).c_str(),
+                    policy.averageFailureRate(),
+                    toString(refresh_power).c_str(), eval.perplexity,
+                    eval.agreementTop1 * 100.0);
+    }
+
+    std::printf("\nreading the curve: left of the paper's deployment "
+                "point (scale 1.0) refresh\npower rises steeply for "
+                "negligible accuracy gain; right of it accuracy "
+                "decays.\nThe paper's interval set sits at the knee.\n");
+    return 0;
+}

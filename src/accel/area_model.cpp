@@ -1,0 +1,41 @@
+#include "accel/area_model.hpp"
+
+#include <sstream>
+
+namespace kelle {
+namespace accel {
+
+AreaReport
+areaReport(const TechnologyConfig &tech)
+{
+    AreaReport rep;
+    rep.onChip = {
+        {"rsa", tech.rsa.area, 0.0},
+        {"kv_mem", tech.kvMemory.area() + tech.actBuffer.area(), 0.0},
+        {"weight_sram", tech.weightSram.area(), 0.0},
+        {"sfu", tech.sfu.area, 0.0},
+    };
+    rep.onChipTotal = Area::mm2(0);
+    for (const auto &e : rep.onChip)
+        rep.onChipTotal += e.area;
+    for (auto &e : rep.onChip)
+        e.share = e.area / rep.onChipTotal;
+    rep.dram = tech.dram.area();
+    return rep;
+}
+
+std::string
+AreaReport::toString() const
+{
+    std::ostringstream os;
+    os << "on-chip total: " << onChipTotal.inMm2() << " mm^2\n";
+    for (const auto &e : onChip) {
+        os << "  " << e.name << ": " << e.area.inMm2() << " mm^2 ("
+           << e.share * 100.0 << "%)\n";
+    }
+    os << "dram: " << dram.inMm2() << " mm^2\n";
+    return os.str();
+}
+
+} // namespace accel
+} // namespace kelle

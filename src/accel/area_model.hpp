@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Silicon area accounting (Section 8: 9.5 mm^2 on-chip; RSA 23%,
+ * eDRAM 33%, SRAM 37%, SFU 7%; DRAM 16 mm^2).
+ */
+
+#ifndef KELLE_ACCEL_AREA_MODEL_HPP
+#define KELLE_ACCEL_AREA_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "accel/technology.hpp"
+
+namespace kelle {
+namespace accel {
+
+/** One component's area entry. */
+struct AreaEntry
+{
+    std::string name;
+    Area area;
+    double share = 0.0; ///< of on-chip area
+};
+
+/** Area breakdown of a platform. */
+struct AreaReport
+{
+    std::vector<AreaEntry> onChip;
+    Area onChipTotal;
+    Area dram;
+
+    std::string toString() const;
+};
+
+/** Compute the breakdown from the technology config. */
+AreaReport areaReport(const TechnologyConfig &tech);
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_AREA_MODEL_HPP

@@ -1,0 +1,125 @@
+#include "accel/attention_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace accel {
+
+float
+quantizeVectorI8(std::span<const float> x, std::span<std::int8_t> out)
+{
+    KELLE_ASSERT(x.size() == out.size(), "quantize size mismatch");
+    float max_abs = 0.0f;
+    for (float v : x)
+        max_abs = std::max(max_abs, std::fabs(v));
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = static_cast<std::int8_t>(std::clamp(
+            std::nearbyint(x[i] / scale), -127.0f, 127.0f));
+    }
+    return scale;
+}
+
+AttentionEngine::AttentionEngine(std::size_t array_dim)
+    : rsa_(array_dim, array_dim)
+{}
+
+AttentionResult
+AttentionEngine::run(const tensor::Matrix &k, const tensor::Matrix &v,
+                     std::span<const float> q,
+                     std::span<const float> importance,
+                     std::span<const std::uint8_t> protected_slots)
+{
+    const std::size_t n = k.rows();
+    const std::size_t hd = k.cols();
+    KELLE_ASSERT(v.rows() == n && v.cols() == hd && q.size() == hd,
+                 "attention shape mismatch");
+    KELLE_ASSERT(importance.size() == n, "importance size mismatch");
+    KELLE_ASSERT(hd <= rsa_.rows(), "head dim exceeds the array");
+
+    AttentionResult res;
+    rsa_.resetStats();
+    if (n == 0)
+        return res;
+
+    // ---- 1. Quantize operands. K rows share one scale so the RSA's
+    // integer scores are comparable across tokens (per-row scales
+    // would distort the evictor's min search).
+    std::vector<std::int8_t> q8(hd);
+    const float q_scale = quantizeVectorI8(q, q8);
+    std::vector<float> k_flat(k.data(), k.data() + n * hd);
+    Int8Matrix k8(n, hd);
+    std::vector<std::int8_t> k8_flat(n * hd);
+    const float k_scale = quantizeVectorI8(k_flat, k8_flat);
+    std::copy(k8_flat.begin(), k8_flat.end(), k8.data.begin());
+
+    // ---- 2. scores = K . q on the RSA, with the evictor tapping the
+    // drain. The q vector loads as a single weight column.
+    const bool search = !protected_slots.empty();
+    SystolicEvictor evictor(n);
+    if (search) {
+        KELLE_ASSERT(protected_slots.size() == n,
+                     "protection mask size mismatch");
+        evictor.loadScores(std::vector<float>(importance.begin(),
+                                              importance.end()));
+        for (std::size_t i = 0; i < n; ++i)
+            evictor.setProtected(i, protected_slots[i]);
+        evictor.beginPass();
+    }
+    Int8Matrix qw(hd, 1);
+    std::copy(q8.begin(), q8.end(), qw.data.begin());
+    rsa_.loadWeights(qw);
+    const Int32Matrix raw_scores =
+        rsa_.stream(k8, search ? &evictor : nullptr);
+    if (search)
+        res.victim = evictor.finalize();
+
+    // ---- 3. Dequantize, scale by 1/sqrt(d), Softermax on the SFU.
+    const float scale =
+        q_scale * k_scale / std::sqrt(static_cast<float>(hd));
+    res.probs.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        res.probs[i] = static_cast<float>(raw_scores.at(i, 0)) * scale;
+    res.sfuOps += sfu_.softermax(res.probs);
+
+    // ---- 4. y = probs . V on the RSA: probabilities re-quantize to
+    // int8 (they are in [0,1]) and V loads tile-wise as weights.
+    std::vector<std::int8_t> p8(n);
+    const float p_scale = quantizeVectorI8(res.probs, p8);
+    std::vector<float> v_flat(v.data(), v.data() + n * hd);
+    std::vector<std::int8_t> v8_flat(n * hd);
+    const float v_scale = quantizeVectorI8(v_flat, v8_flat);
+
+    res.output.assign(hd, 0.0f);
+    // Tile over tokens: each K-tile of up to `rows` tokens loads as a
+    // weight block and the matching probability slice streams through.
+    for (std::size_t t0 = 0; t0 < n; t0 += rsa_.rows()) {
+        const std::size_t tn = std::min(rsa_.rows(), n - t0);
+        for (std::size_t c0 = 0; c0 < hd; c0 += rsa_.cols()) {
+            const std::size_t cn = std::min(rsa_.cols(), hd - c0);
+            Int8Matrix w(tn, cn);
+            for (std::size_t i = 0; i < tn; ++i)
+                for (std::size_t j = 0; j < cn; ++j)
+                    w.at(i, j) = v8_flat[(t0 + i) * hd + c0 + j];
+            rsa_.loadWeights(w);
+            Int8Matrix pa(1, tn);
+            for (std::size_t i = 0; i < tn; ++i)
+                pa.at(0, i) = p8[t0 + i];
+            const Int32Matrix part = rsa_.stream(pa);
+            for (std::size_t j = 0; j < cn; ++j)
+                res.output[c0 + j] +=
+                    static_cast<float>(part.at(0, j)) * p_scale *
+                    v_scale;
+        }
+    }
+
+    res.cycles = rsa_.stats().cycles;
+    res.macs = rsa_.stats().macs;
+    return res;
+}
+
+} // namespace accel
+} // namespace kelle

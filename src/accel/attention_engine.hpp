@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hardware-coupled decode attention (the inner loop of Section 5).
+ *
+ * Executes one head's decode-step attention on the cycle-level
+ * component models instead of float kernels:
+ *
+ *   1. q and the gathered K rows are quantized to int8;
+ *   2. scores = K . q run on the reconfigurable systolic array, with
+ *      the systolic evictor tapping the output drain to accumulate
+ *      importance and track the minimum (Figure 11 c/d);
+ *   3. Softermax on the SFU turns scores into probabilities;
+ *   4. probabilities (re-quantized) multiply V on the RSA;
+ *   5. the victim slot the evictor selected is reported alongside
+ *      cycle and energy statistics.
+ *
+ * The result must match the float attention path within int8
+ * quantization error — the integration test suite checks exactly
+ * that, plus victim agreement with the algorithmic policy.
+ */
+
+#ifndef KELLE_ACCEL_ATTENTION_ENGINE_HPP
+#define KELLE_ACCEL_ATTENTION_ENGINE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "accel/sfu.hpp"
+#include "accel/systolic_array.hpp"
+#include "accel/systolic_evictor.hpp"
+#include "tensor/matrix.hpp"
+
+namespace kelle {
+namespace accel {
+
+/** Result of one hardware attention pass. */
+struct AttentionResult
+{
+    std::vector<float> output;  ///< y = softmax(K q / sqrt(d)) V
+    std::vector<float> probs;   ///< softermax probabilities
+    std::optional<std::size_t> victim; ///< SE min-importance slot
+    std::uint64_t cycles = 0;   ///< RSA cycles consumed
+    std::uint64_t macs = 0;     ///< useful MACs
+    std::size_t sfuOps = 0;     ///< SFU scalar ops
+};
+
+/** Decode attention executed on the cycle-level hardware models. */
+class AttentionEngine
+{
+  public:
+    /** `array_dim` is the square RSA dimension (32 in Kelle). */
+    explicit AttentionEngine(std::size_t array_dim);
+
+    /**
+     * Run one head: `k` and `v` are the gathered cache contents
+     * [n x headDim], `q` the query of length headDim, `importance`
+     * the current importance scores (length n). `protected_slots`
+     * marks sink/recent slots the evictor must skip; empty means the
+     * eviction search is skipped entirely (cache below budget).
+     */
+    AttentionResult run(const tensor::Matrix &k, const tensor::Matrix &v,
+                        std::span<const float> q,
+                        std::span<const float> importance,
+                        std::span<const std::uint8_t> protected_slots);
+
+    const SystolicArray &array() const { return rsa_; }
+    const Sfu &sfu() const { return sfu_; }
+
+  private:
+    SystolicArray rsa_;
+    Sfu sfu_;
+};
+
+/** Symmetric int8 quantization of a vector; returns the scale. */
+float quantizeVectorI8(std::span<const float> x,
+                       std::span<std::int8_t> out);
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_ATTENTION_ENGINE_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analytic stand-ins for the Figure 14 comparison points. Each
+ * comparator applies its system's headline optimization inside the
+ * same analytic engine (see DESIGN.md, substitution table):
+ *
+ *  - Jetson Orin: FP8 edge-GPU roofline (higher DRAM bandwidth and
+ *    peak compute, lower efficiency per op, no KV management).
+ *  - LLM.npu: NPU prompt offloading accelerates the pre-filling
+ *    stage; decoding is unchanged.
+ *  - DynaX: dynamic X:M fine-grained structured pruning reaches 90%
+ *    attention sparsity in pre-filling.
+ *  - COMET: W4A4KV4-class mixed-precision kernels, configured (like
+ *    the paper) as W8 + 4-bit KV for an iso-budget comparison.
+ */
+
+#ifndef KELLE_ACCEL_COMPARATORS_HPP
+#define KELLE_ACCEL_COMPARATORS_HPP
+
+#include "accel/timing_model.hpp"
+
+namespace kelle {
+namespace accel {
+namespace comparators {
+
+/** NVIDIA Jetson Orin-class edge GPU running FP8. */
+SystemConfig jetsonOrin();
+
+/** LLM.npu: prompt-stage NPU offloading. */
+SystemConfig llmNpu();
+
+/** DynaX: 90% sparse attention in the pre-filling stage. */
+SystemConfig dynaX();
+
+/** COMET: mixed-precision kernels with 4-bit KV. */
+SystemConfig comet();
+
+} // namespace comparators
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_COMPARATORS_HPP

@@ -1,0 +1,45 @@
+#include "accel/energy_model.hpp"
+
+namespace kelle {
+namespace accel {
+
+Energy
+EnergyBreakdown::total() const
+{
+    return rsa + sfu + weightSram + kvMem + refresh + dram + leakage;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    rsa += o.rsa;
+    sfu += o.sfu;
+    weightSram += o.weightSram;
+    kvMem += o.kvMem;
+    refresh += o.refresh;
+    dram += o.dram;
+    leakage += o.leakage;
+    return *this;
+}
+
+Energy
+EnergyBreakdown::onChipTotal() const
+{
+    return rsa + sfu + weightSram + kvMem + refresh;
+}
+
+std::vector<std::pair<std::string, double>>
+EnergyBreakdown::shares() const
+{
+    const double t = total().j();
+    auto frac = [t](Energy e) { return t > 0 ? e.j() / t : 0.0; };
+    return {
+        {"rsa", frac(rsa)},        {"sfu", frac(sfu)},
+        {"weight_sram", frac(weightSram)},
+        {"kv_mem", frac(kvMem)},   {"refresh", frac(refresh)},
+        {"dram", frac(dram)},      {"leakage", frac(leakage)},
+    };
+}
+
+} // namespace accel
+} // namespace kelle

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Component-wise energy accounting of a simulated run.
+ */
+
+#ifndef KELLE_ACCEL_ENERGY_MODEL_HPP
+#define KELLE_ACCEL_ENERGY_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kelle {
+namespace accel {
+
+/** Per-component energy of one phase (prefill or decode). */
+struct EnergyBreakdown
+{
+    Energy rsa;        ///< MAC array switching energy
+    Energy sfu;        ///< nonlinear ops
+    Energy weightSram; ///< weight staging traffic
+    Energy kvMem;      ///< on-chip KV traffic (eDRAM or SRAM)
+    Energy refresh;    ///< eDRAM refresh (KV-resident + transients)
+    Energy dram;       ///< off-chip traffic
+    Energy leakage;    ///< on-chip leakage + DRAM background
+
+    Energy total() const;
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+
+    /** On-chip share only (the paper's Figure 13 pie charts). */
+    Energy onChipTotal() const;
+
+    /** Human-readable component: fraction table. */
+    std::vector<std::pair<std::string, double>> shares() const;
+};
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_ENERGY_MODEL_HPP

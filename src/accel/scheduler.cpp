@@ -1,0 +1,42 @@
+#include "accel/scheduler.hpp"
+
+#include <algorithm>
+
+namespace kelle {
+namespace accel {
+
+std::string
+toString(SchedulerKind k)
+{
+    return k == SchedulerKind::Baseline ? "baseline" : "kelle";
+}
+
+Time
+composeStepLatency(SchedulerKind kind, const PhaseTimes &p)
+{
+    if (kind == SchedulerKind::Baseline) {
+        // Figure 12a: every stream and compute phase back to back.
+        return p.dram + p.sramW + p.kvMem + p.compute + p.sfu;
+    }
+    // Figure 12b: DRAM, SRAM and eDRAM streams run in parallel with
+    // compute; softmax remains on the critical path between QK^T and
+    // the value product.
+    const Time streams =
+        std::max({p.dram, p.sramW, p.kvMem, p.compute});
+    return streams + p.sfu;
+}
+
+Time
+transientLifetime(SchedulerKind kind, Time t_sram, Time t_edram)
+{
+    if (kind == SchedulerKind::Baseline) {
+        // Eq. 7: L_X = 3 T_S; L_Q = 2 T_S + T_e; L_K = T_S + T_e;
+        // L_V = 2 T_e  =>  6 T_S + 4 T_e.
+        return 6.0 * t_sram + 4.0 * t_edram;
+    }
+    // Eq. 8: L_X = 3 T_S; L_Q = T_S + T_e; K/V consumed immediately.
+    return 4.0 * t_sram + 1.0 * t_edram;
+}
+
+} // namespace accel
+} // namespace kelle

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The Kelle scheduler (Section 6): computation-pattern composition and
+ * the eDRAM data-lifetime model of Equations 7-8.
+ *
+ * The baseline pattern (Figure 12a) serializes weight loads, KV loads
+ * and matrix multiplies, so transient activations (X, Q, K, V) sit in
+ * eDRAM for 6*T_SRAM + 4*T_eDRAM per self-attention block. Kelle
+ * (Figure 12b) issues the SRAM weight stream and the eDRAM KV stream
+ * in parallel and consumes K/V immediately, cutting the lifetime to
+ * 4*T_SRAM + 1*T_eDRAM and the step latency to the max of the
+ * overlapped streams.
+ */
+
+#ifndef KELLE_ACCEL_SCHEDULER_HPP
+#define KELLE_ACCEL_SCHEDULER_HPP
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace kelle {
+namespace accel {
+
+enum class SchedulerKind
+{
+    Baseline, ///< serial loads and computes (Figure 12a)
+    Kelle,    ///< overlapped SRAM/eDRAM/DRAM streams (Figure 12b)
+};
+
+std::string toString(SchedulerKind k);
+
+/** Per-step stream/compute phase durations. */
+struct PhaseTimes
+{
+    Time dram;    ///< off-chip traffic (weights + offloaded KV + spill)
+    Time sramW;   ///< weight SRAM -> RSA stream
+    Time kvMem;   ///< on-chip KV memory stream
+    Time compute; ///< RSA busy time
+    Time sfu;     ///< softmax/normalization/activation time
+};
+
+/** Compose a decode-step latency under the given schedule. */
+Time composeStepLatency(SchedulerKind kind, const PhaseTimes &phases);
+
+/**
+ * Total transient-data lifetime of the SA block per step (Eq. 7-8):
+ * baseline L = 6 T_SRAM + 4 T_eDRAM; Kelle L = 4 T_SRAM + 1 T_eDRAM.
+ */
+Time transientLifetime(SchedulerKind kind, Time t_sram, Time t_edram);
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_SCHEDULER_HPP

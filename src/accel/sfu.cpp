@@ -1,0 +1,152 @@
+#include "accel/sfu.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace accel {
+
+namespace {
+
+double
+refExp2(double x)
+{
+    return std::exp2(x);
+}
+
+double
+refGelu(double x)
+{
+    const double c = 0.7978845608028654; // sqrt(2/pi)
+    return 0.5 * x * (1.0 + std::tanh(c * (x + 0.044715 * x * x * x)));
+}
+
+double
+refSilu(double x)
+{
+    return x / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+LutFunction::LutFunction(Fn fn, double lo, double hi)
+    : lo_(lo), hi_(hi), fn_(fn)
+{
+    KELLE_ASSERT(hi > lo, "degenerate LUT domain");
+    for (std::size_t i = 0; i <= kEntries; ++i) {
+        const double x =
+            lo + (hi - lo) * static_cast<double>(i) / kEntries;
+        table_[i] = static_cast<float>(fn(x));
+    }
+}
+
+float
+LutFunction::operator()(float x) const
+{
+    double t = (static_cast<double>(x) - lo_) / (hi_ - lo_) * kEntries;
+    if (t <= 0.0)
+        return table_[0];
+    if (t >= static_cast<double>(kEntries))
+        return table_[kEntries];
+    const auto idx = static_cast<std::size_t>(t);
+    const float frac = static_cast<float>(t - static_cast<double>(idx));
+    return table_[idx] + (table_[idx + 1] - table_[idx]) * frac;
+}
+
+double
+LutFunction::maxAbsError(std::size_t samples) const
+{
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double x =
+            lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                      static_cast<double>(samples - 1);
+        const double err = std::fabs((*this)(static_cast<float>(x)) -
+                                     fn_(x));
+        max_err = std::max(max_err, err);
+    }
+    return max_err;
+}
+
+Sfu::Sfu()
+    : exp2Frac_(refExp2, 0.0, 1.0), geluLut_(refGelu, -8.0, 8.0),
+      siluLut_(refSilu, -8.0, 8.0)
+{}
+
+float
+Sfu::exp2Lut(float x) const
+{
+    // Split into integer exponent and fractional LUT part:
+    // 2^x = 2^floor(x) * 2^frac(x); the integer part is an exponent
+    // add in hardware.
+    const float fl = std::floor(x);
+    const float frac = x - fl;
+    if (fl < -126.0f)
+        return 0.0f;
+    if (fl > 126.0f)
+        return std::numeric_limits<float>::max();
+    return std::ldexp(exp2Frac_(frac), static_cast<int>(fl));
+}
+
+std::size_t
+Sfu::softermax(std::span<float> x) const
+{
+    if (x.empty())
+        return 0;
+    constexpr float kLog2e = 1.4426950408889634f;
+
+    // Online pass: running max m and running denominator d, rescaling
+    // d by 2^(m_old - m_new) whenever the max advances (Softermax).
+    float m = -std::numeric_limits<float>::infinity();
+    float d = 0.0f;
+    for (float v : x) {
+        const float s = v * kLog2e;
+        if (s > m) {
+            d = (d == 0.0f) ? 0.0f : d * exp2Lut(m - s);
+            m = s;
+            d += 1.0f; // 2^(s - m) = 1
+        } else {
+            d += exp2Lut(s - m);
+        }
+    }
+
+    // Second pass: normalize through the same LUT path.
+    const float inv = 1.0f / d;
+    for (auto &v : x)
+        v = exp2Lut(v * kLog2e - m) * inv;
+    return 2 * x.size();
+}
+
+std::size_t
+Sfu::gelu(std::span<float> x) const
+{
+    for (auto &v : x) {
+        if (v <= -8.0f) {
+            v = 0.0f;
+        } else if (v >= 8.0f) {
+            // gelu(x) ~ x outside the LUT domain
+        } else {
+            v = geluLut_(v);
+        }
+    }
+    return x.size();
+}
+
+std::size_t
+Sfu::silu(std::span<float> x) const
+{
+    for (auto &v : x) {
+        if (v <= -8.0f) {
+            v = 0.0f;
+        } else if (v >= 8.0f) {
+            // silu(x) ~ x outside the LUT domain
+        } else {
+            v = siluLut_(v);
+        }
+    }
+    return x.size();
+}
+
+} // namespace accel
+} // namespace kelle

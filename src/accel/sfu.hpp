@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Special function unit (Section 5): Softermax online softmax and
+ * LUT-based nonlinear operators.
+ *
+ * Softermax (Stevens et al.) replaces e^x with 2^x (cheap shifts) and
+ * computes the running maximum and denominator in one online pass so
+ * the logits are only read twice and never re-normalized in memory.
+ * Inputs are pre-scaled by log2(e), so results match softmax up to
+ * LUT error. Other nonlinears (GELU, SiLU, exp2) are evaluated from
+ * 256-entry piecewise-linear lookup tables as the paper describes.
+ */
+
+#ifndef KELLE_ACCEL_SFU_HPP
+#define KELLE_ACCEL_SFU_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/units.hpp"
+
+namespace kelle {
+namespace accel {
+
+/** 256-entry piecewise-linear table over [lo, hi]. */
+class LutFunction
+{
+  public:
+    using Fn = double (*)(double);
+
+    LutFunction(Fn fn, double lo, double hi);
+
+    /** Evaluate with linear interpolation (clamped to the domain). */
+    float operator()(float x) const;
+
+    /** Max absolute error against the reference over a dense sweep. */
+    double maxAbsError(std::size_t samples = 4096) const;
+
+  private:
+    static constexpr std::size_t kEntries = 256;
+    std::array<float, kEntries + 1> table_;
+    double lo_;
+    double hi_;
+    Fn fn_;
+};
+
+/** The SFU's operator set. */
+class Sfu
+{
+  public:
+    Sfu();
+
+    /**
+     * Softermax: numerically-stable online softmax with base-2
+     * arithmetic and a single online max/denominator pass. Overwrites
+     * x with the probabilities. Returns the number of scalar LUT ops.
+     */
+    std::size_t softermax(std::span<float> x) const;
+
+    /** LUT GELU (tanh form) applied elementwise. */
+    std::size_t gelu(std::span<float> x) const;
+    /** LUT SiLU applied elementwise. */
+    std::size_t silu(std::span<float> x) const;
+
+    /** 2^x via exponent split + fraction LUT (exposed for tests). */
+    float exp2Lut(float x) const;
+
+    const LutFunction &exp2Table() const { return exp2Frac_; }
+    const LutFunction &geluTable() const { return geluLut_; }
+    const LutFunction &siluTable() const { return siluLut_; }
+
+  private:
+    LutFunction exp2Frac_; ///< 2^f on f in [0,1)
+    LutFunction geluLut_;
+    LutFunction siluLut_;
+};
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_SFU_HPP

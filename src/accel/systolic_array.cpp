@@ -1,0 +1,156 @@
+#include "accel/systolic_array.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace accel {
+
+Int32Matrix
+referenceMatmul(const Int8Matrix &a, const Int8Matrix &b)
+{
+    KELLE_ASSERT(a.cols == b.rows, "reference matmul shape mismatch");
+    Int32Matrix c(a.rows, b.cols);
+    for (std::size_t i = 0; i < a.rows; ++i)
+        for (std::size_t k = 0; k < a.cols; ++k) {
+            const std::int32_t av = a.at(i, k);
+            for (std::size_t j = 0; j < b.cols; ++j)
+                c.at(i, j) += av * static_cast<std::int32_t>(b.at(k, j));
+        }
+    return c;
+}
+
+void
+ArrayStats::merge(const ArrayStats &o)
+{
+    cycles += o.cycles;
+    macs += o.macs;
+    peCycles += o.peCycles;
+    weightLoads += o.weightLoads;
+}
+
+SystolicArray::SystolicArray(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), weights_(rows * cols, 0)
+{
+    KELLE_ASSERT(rows > 0 && cols > 0, "degenerate systolic array");
+}
+
+void
+SystolicArray::loadWeights(const Int8Matrix &w, bool transposed)
+{
+    const std::size_t k = transposed ? w.cols : w.rows;
+    const std::size_t n = transposed ? w.rows : w.cols;
+    KELLE_ASSERT(k <= rows_ && n <= cols_, "weight tile ", k, "x", n,
+                 " exceeds array ", rows_, "x", cols_);
+    std::fill(weights_.begin(), weights_.end(), 0);
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            weights_[i * cols_ + j] =
+                transposed ? w.at(j, i) : w.at(i, j);
+    tileK_ = k;
+    tileN_ = n;
+    // One weight row shifts in per cycle.
+    stats_.cycles += k;
+    stats_.weightLoads += k;
+    stats_.peCycles += k * rows_ * cols_;
+}
+
+Int32Matrix
+SystolicArray::stream(const Int8Matrix &a, OutputTap *tap)
+{
+    KELLE_ASSERT(tileK_ > 0, "stream before loadWeights");
+    KELLE_ASSERT(a.cols == tileK_, "activation tile K mismatch: ", a.cols,
+                 " vs ", tileK_);
+    const std::size_t m = a.rows;
+    const std::size_t k = tileK_;
+    const std::size_t n = tileN_;
+    Int32Matrix out(m, n);
+    if (m == 0)
+        return out;
+
+    // Register state: activation and partial-sum registers per PE.
+    std::vector<std::int32_t> a_reg(k * n, 0), a_next(k * n, 0);
+    std::vector<std::int32_t> p_reg(k * n, 0), p_next(k * n, 0);
+
+    // Output (mm, nn) drains from the bottom of column nn at cycle
+    // mm + nn + k - 1 (0-based), so the tile takes m + n + k - 1 cycles.
+    const std::uint64_t total = m + n + k - 1;
+    for (std::uint64_t cycle = 0; cycle < total; ++cycle) {
+        for (std::size_t r = 0; r < k; ++r) {
+            // Row r receives A[cycle - r][r] at its left edge.
+            const std::int64_t mm =
+                static_cast<std::int64_t>(cycle) -
+                static_cast<std::int64_t>(r);
+            const std::int32_t a_in =
+                (mm >= 0 && mm < static_cast<std::int64_t>(m))
+                    ? a.at(static_cast<std::size_t>(mm), r)
+                    : 0;
+            for (std::size_t c = 0; c < n; ++c) {
+                const std::int32_t act =
+                    (c == 0) ? a_in : a_reg[r * n + (c - 1)];
+                const std::int32_t psum_above =
+                    (r == 0) ? 0 : p_reg[(r - 1) * n + c];
+                a_next[r * n + c] = act;
+                p_next[r * n + c] =
+                    psum_above +
+                    act * static_cast<std::int32_t>(
+                              weights_[r * cols_ + c]);
+            }
+        }
+        a_reg.swap(a_next);
+        p_reg.swap(p_next);
+
+        // Collect drained outputs: column c's bottom PE (row k-1) holds
+        // the finished sum for activation row mm = cycle - c - (k - 1).
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::int64_t mm =
+                static_cast<std::int64_t>(cycle) -
+                static_cast<std::int64_t>(c) -
+                static_cast<std::int64_t>(k - 1);
+            if (mm >= 0 && mm < static_cast<std::int64_t>(m)) {
+                const std::int32_t value = p_reg[(k - 1) * n + c];
+                out.at(static_cast<std::size_t>(mm), c) = value;
+                if (tap)
+                    tap->onOutput(static_cast<std::size_t>(mm), c, value,
+                                  stats_.cycles + cycle);
+            }
+        }
+    }
+
+    stats_.cycles += total;
+    stats_.peCycles += total * rows_ * cols_;
+    stats_.macs += static_cast<std::uint64_t>(m) * k * n;
+    return out;
+}
+
+Int32Matrix
+SystolicArray::matmul(const Int8Matrix &a, const Int8Matrix &b)
+{
+    KELLE_ASSERT(a.cols == b.rows, "matmul shape mismatch");
+    Int32Matrix c(a.rows, b.cols);
+    for (std::size_t k0 = 0; k0 < b.rows; k0 += rows_) {
+        const std::size_t kt = std::min(rows_, b.rows - k0);
+        for (std::size_t n0 = 0; n0 < b.cols; n0 += cols_) {
+            const std::size_t nt = std::min(cols_, b.cols - n0);
+            Int8Matrix w(kt, nt);
+            for (std::size_t i = 0; i < kt; ++i)
+                for (std::size_t j = 0; j < nt; ++j)
+                    w.at(i, j) = b.at(k0 + i, n0 + j);
+            loadWeights(w);
+
+            Int8Matrix at(a.rows, kt);
+            for (std::size_t i = 0; i < a.rows; ++i)
+                for (std::size_t j = 0; j < kt; ++j)
+                    at.at(i, j) = a.at(i, k0 + j);
+            Int32Matrix partial = stream(at);
+            for (std::size_t i = 0; i < a.rows; ++i)
+                for (std::size_t j = 0; j < nt; ++j)
+                    c.at(i, n0 + j) += partial.at(i, j);
+        }
+    }
+    return c;
+}
+
+} // namespace accel
+} // namespace kelle

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Cycle-level weight-stationary systolic array (the RSA of Section 5.2).
+ *
+ * The array is an R x C grid of 8-bit MAC PEs: weights are preloaded
+ * into the grid (one row per cycle), activations stream in from the
+ * left with a one-cycle skew per row, and partial sums flow down the
+ * columns into the accumulator. Output element (m, n) of an
+ * M x K * K x N tile product exits column n at cycle m + n + K - 1
+ * after streaming starts.
+ *
+ * A reconfiguration flag provides in-place transposed multiplication
+ * (the FAST-style reconfigurable strategy the paper adopts), used for
+ * Q.K^T in attention.
+ *
+ * The simulation is register-true: the returned products are computed
+ * by the modeled PEs cycle by cycle and are bit-identical to integer
+ * reference matmuls, which the test suite verifies.
+ */
+
+#ifndef KELLE_ACCEL_SYSTOLIC_ARRAY_HPP
+#define KELLE_ACCEL_SYSTOLIC_ARRAY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kelle {
+namespace accel {
+
+/** Dense row-major int8 matrix. */
+struct Int8Matrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::int8_t> data;
+
+    Int8Matrix() = default;
+    Int8Matrix(std::size_t r, std::size_t c)
+        : rows(r), cols(c), data(r * c, 0)
+    {}
+    std::int8_t &at(std::size_t r, std::size_t c)
+    {
+        return data[r * cols + c];
+    }
+    std::int8_t
+    at(std::size_t r, std::size_t c) const
+    {
+        return data[r * cols + c];
+    }
+};
+
+/** Dense row-major int32 accumulator matrix. */
+struct Int32Matrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::int32_t> data;
+
+    Int32Matrix() = default;
+    Int32Matrix(std::size_t r, std::size_t c)
+        : rows(r), cols(c), data(r * c, 0)
+    {}
+    std::int32_t &at(std::size_t r, std::size_t c)
+    {
+        return data[r * cols + c];
+    }
+    std::int32_t
+    at(std::size_t r, std::size_t c) const
+    {
+        return data[r * cols + c];
+    }
+};
+
+/** Reference integer matmul for verification. */
+Int32Matrix referenceMatmul(const Int8Matrix &a, const Int8Matrix &b);
+
+/** Cycle and work accounting of one or more array operations. */
+struct ArrayStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t macs = 0;        ///< useful MACs
+    std::uint64_t peCycles = 0;    ///< PE-slots elapsed (cycles * R * C)
+    std::uint64_t weightLoads = 0; ///< weight-load cycles included
+
+    double
+    utilization() const
+    {
+        return peCycles ? static_cast<double>(macs) /
+                              static_cast<double>(peCycles)
+                        : 0.0;
+    }
+    void merge(const ArrayStats &o);
+};
+
+/**
+ * Observer of column-0 outputs as they drain, used to couple the
+ * systolic evictor to attention-score computation: called once per
+ * produced output element with (row index m, value).
+ */
+class OutputTap
+{
+  public:
+    virtual ~OutputTap() = default;
+    virtual void onOutput(std::size_t m, std::size_t n,
+                          std::int32_t value, std::uint64_t cycle) = 0;
+};
+
+/** The reconfigurable systolic array. */
+class SystolicArray
+{
+  public:
+    SystolicArray(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /**
+     * Load a K x N weight tile (K <= rows, N <= cols). When
+     * `transposed`, the tile is interpreted as N x K and loaded
+     * transposed in place (reconfigured dataflow). Costs K cycles.
+     */
+    void loadWeights(const Int8Matrix &w, bool transposed = false);
+
+    /**
+     * Stream an M x K activation tile through the loaded weights,
+     * returning the M x N product. Cycle-true: M + K + N - 1 cycles
+     * of PE evaluation. An optional tap observes each drained output.
+     */
+    Int32Matrix stream(const Int8Matrix &a, OutputTap *tap = nullptr);
+
+    /**
+     * Full tiled matmul C = A (M x K) * B (K x N), accumulating over
+     * K tiles, including weight-load cycles.
+     */
+    Int32Matrix matmul(const Int8Matrix &a, const Int8Matrix &b);
+
+    const ArrayStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t tileK_ = 0; ///< valid weight rows
+    std::size_t tileN_ = 0; ///< valid weight cols
+    std::vector<std::int8_t> weights_; ///< rows_ x cols_
+    ArrayStats stats_;
+};
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_SYSTOLIC_ARRAY_HPP

@@ -1,0 +1,84 @@
+#include "accel/systolic_evictor.hpp"
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace accel {
+
+SystolicEvictor::SystolicEvictor(std::size_t slots)
+    : slots_(slots), scores_(slots, 0.0f), protected_(slots, 0),
+      updated_(slots, 0)
+{
+    KELLE_ASSERT(slots > 0, "evictor needs at least one slot");
+}
+
+void
+SystolicEvictor::loadScores(const std::vector<float> &scores)
+{
+    KELLE_ASSERT(scores.size() == slots_, "score preload size mismatch");
+    scores_ = scores;
+}
+
+void
+SystolicEvictor::setProtected(std::size_t slot, bool is_protected)
+{
+    KELLE_ASSERT(slot < slots_, "slot out of range");
+    protected_[slot] = is_protected ? 1 : 0;
+}
+
+void
+SystolicEvictor::beginPass()
+{
+    chain_ = MinReg{};
+    nextRow_ = 0;
+    extraCycles_ = 0;
+    std::fill(updated_.begin(), updated_.end(), 0);
+}
+
+void
+SystolicEvictor::onOutput(std::size_t m, std::size_t, std::int32_t value,
+                          std::uint64_t)
+{
+    KELLE_ASSERT(m < slots_, "score row out of range");
+    // Step 1/3 (Figure 11d): the i-th SE row accumulates the freshly
+    // drained attention score into S[i] ...
+    scores_[m] += static_cast<float>(value);
+    updated_[m] = 1;
+    // ... and step 2/4: the min register chain advances in the same
+    // cycle, one row behind the RSA drain.
+    tick();
+}
+
+void
+SystolicEvictor::tick()
+{
+    if (nextRow_ >= slots_)
+        return;
+    const std::size_t i = nextRow_++;
+    if (!updated_[i])
+        return; // row's score has not drained yet; chain idles
+    if (protected_[i])
+        return; // sink/recent slots never propagate into the min
+    if (!chain_.valid || scores_[i] < chain_.value) {
+        chain_.value = scores_[i];
+        chain_.index = i;
+        chain_.valid = true;
+    }
+}
+
+std::size_t
+SystolicEvictor::finalize()
+{
+    // Any rows the chain has not visited yet drain now, one per cycle
+    // beyond the RSA's own pipeline.
+    while (nextRow_ < slots_) {
+        tick();
+        ++extraCycles_;
+    }
+    ++extraCycles_; // latch the final min register
+    KELLE_ASSERT(chain_.valid, "no eligible eviction candidate");
+    return chain_.index;
+}
+
+} // namespace accel
+} // namespace kelle

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The systolic evictor (SE) of Section 5.3.
+ *
+ * The SE is a column of importance-score registers S plus a register
+ * chain M that propagates the running minimum. It is pinned to the RSA
+ * while the attention-score row q_N . K^T drains: the cycle after the
+ * RSA's row i emits the score of cached token i, SE row i adds it to
+ * S[i] (step 1/3 in Figure 11d) and the min chain advances (step
+ * 2/4). The victim index is therefore known one cycle after the last
+ * score drains — the min-search costs no extra LLM latency.
+ *
+ * The importance accumulated here is the raw pre-softmax QK sum
+ * ("summing the QK^T results in Equation 1 without passing through the
+ *  softmax"), which the functional AERP policy mirrors when configured
+ * with useRawLogits.
+ */
+
+#ifndef KELLE_ACCEL_SYSTOLIC_EVICTOR_HPP
+#define KELLE_ACCEL_SYSTOLIC_EVICTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/systolic_array.hpp"
+
+namespace kelle {
+namespace accel {
+
+/** Cycle-level systolic min-search coupled to score accumulation. */
+class SystolicEvictor : public OutputTap
+{
+  public:
+    explicit SystolicEvictor(std::size_t slots);
+
+    /** Preload the importance scores (from the register file). */
+    void loadScores(const std::vector<float> &scores);
+
+    /** Mark a slot ineligible (sink / recent-window protection). */
+    void setProtected(std::size_t slot, bool is_protected);
+
+    /** Begin a pass: resets the pipeline, keeps scores/protection. */
+    void beginPass();
+
+    /**
+     * OutputTap hook: receives attention scores from the RSA drain
+     * (column n is ignored; scores arrive on the score column).
+     */
+    void onOutput(std::size_t m, std::size_t n, std::int32_t value,
+                  std::uint64_t cycle) override;
+
+    /** Advance the min-propagation chain by one cycle. */
+    void tick();
+
+    /**
+     * Drain the pipeline and return the victim slot (minimum updated
+     * score among eligible slots). Also reports the extra cycles the
+     * chain needed beyond the RSA's own drain (1 per design).
+     */
+    std::size_t finalize();
+
+    const std::vector<float> &scores() const { return scores_; }
+    std::uint64_t extraCycles() const { return extraCycles_; }
+
+  private:
+    struct MinReg
+    {
+        float value = 0.0f;
+        std::size_t index = 0;
+        bool valid = false;
+    };
+
+    std::size_t slots_;
+    std::vector<float> scores_;
+    std::vector<char> protected_;
+    std::vector<char> updated_;
+    MinReg chain_;
+    std::size_t nextRow_ = 0;
+    std::uint64_t extraCycles_ = 0;
+};
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_SYSTOLIC_EVICTOR_HPP

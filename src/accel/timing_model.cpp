@@ -1,0 +1,504 @@
+#include "accel/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace accel {
+
+namespace {
+
+/** Paper Section 8.1.4: software eviction (no systolic evictor) costs
+ *  ~7% latency and ~5% energy; the SE itself draws 0.028 W. */
+constexpr double kSoftwareEvictLatencyOverhead = 0.07;
+constexpr double kSoftwareEvictEnergyOverhead = 0.05;
+constexpr double kEvictorPowerW = 0.028;
+
+/** Refresh interval of the retention floor (Table 1). */
+const Time kRetentionFloor = Time::micros(45);
+
+struct StepCosts
+{
+    PhaseTimes phases;
+    double dramBytes = 0.0;
+    double onChipKvBytes = 0.0;
+    double macs = 0.0;
+    double recomputeMacs = 0.0; ///< included in macs; overlaps DRAM
+    double sfuOps = 0.0;
+    double residentKvBytes = 0.0;
+    double onChipResidentKvBytes = 0.0;
+    double recomputedTokens = 0.0;
+};
+
+/** Resident tokens in the cache at attention time of step t. */
+std::size_t
+residentTokens(const SystemConfig &sys, const Workload &w, std::size_t t)
+{
+    const std::size_t n = w.ctxLen + t + 1;
+    if (sys.kv.evict && sys.kv.budget > 0)
+        return std::min(n, sys.kv.budget);
+    return n;
+}
+
+/** Refresh power of `bytes` resident data under the refresh spec. */
+Power
+refreshPower(const SystemConfig &sys, double bytes)
+{
+    const auto &r = sys.refresh;
+    if (r.mode == RefreshSpec::Mode::None || bytes <= 0.0)
+        return Power::watts(0);
+    const EnergyPerByte e = sys.tech.kvEdram.refreshEnergy;
+
+    auto groupPower = [&](double group_bytes, Time interval) {
+        return Power::watts(e.value * group_bytes / interval.sec());
+    };
+
+    if (r.mode == RefreshSpec::Mode::Retention)
+        return groupPower(bytes, kRetentionFloor);
+    if (r.mode == RefreshSpec::Mode::Uniform)
+        return groupPower(bytes, r.intervals.interval[0]);
+
+    // 2DRP: bytes split into the four groups of Figure 7b: the MSB/LSB
+    // byte split is exactly half; the HST/LST split follows the score
+    // register file.
+    const double h = r.hstFraction;
+    Power total = Power::watts(0);
+    total += groupPower(bytes * h * 0.5,
+                        r.intervals.of(edram::RefreshGroup::HstMsb));
+    total += groupPower(bytes * h * 0.5,
+                        r.intervals.of(edram::RefreshGroup::HstLsb));
+    total += groupPower(bytes * (1.0 - h) * 0.5,
+                        r.intervals.of(edram::RefreshGroup::LstMsb));
+    total += groupPower(bytes * (1.0 - h) * 0.5,
+                        r.intervals.of(edram::RefreshGroup::LstLsb));
+    return total;
+}
+
+/** Average refresh interval used for transient-data refresh costs. */
+Time
+transientRefreshInterval(const SystemConfig &sys)
+{
+    switch (sys.refresh.mode) {
+      case RefreshSpec::Mode::None:
+        return Time::seconds(0);
+      case RefreshSpec::Mode::Retention:
+        return kRetentionFloor;
+      case RefreshSpec::Mode::Uniform:
+        return sys.refresh.intervals.interval[0];
+      case RefreshSpec::Mode::TwoD:
+        return sys.refresh.intervals.averageInterval();
+    }
+    return Time::seconds(0);
+}
+
+/** Per-decode-step resource costs. */
+StepCosts
+decodeStepCosts(const SystemConfig &sys, const Workload &w, std::size_t t)
+{
+    const auto &m = w.model;
+    const auto &tech = sys.tech;
+    const double B = static_cast<double>(w.batch);
+    const double L = static_cast<double>(m.layers);
+    const double d = static_cast<double>(m.dModel);
+    const double dkv = static_cast<double>(m.dKv());
+    const std::size_t n = residentTokens(sys, w, t);
+    const double nd = static_cast<double>(n);
+
+    const double kv_tok = m.kvBytesPerTokenPerLayer(sys.kv.kvBits);
+    const double x_tok = d * 2.0; // 16-bit activations
+    const double w_step = m.weightBytes(tech.weightBits);
+
+    StepCosts c;
+
+    // Base compute.
+    c.macs = B * m.macsPerDecodeToken(n);
+
+    // Recomputation sizing (Section 8.3.2): Auto fills RSA slack
+    // during memory stalls; Over recomputes every popular token.
+    const double eligible =
+        (sys.kv.recompute == RecomputeMode::None)
+            ? 0.0
+            : sys.kv.popularFraction * nd;
+    const double macs_per_recomp = 2.0 * d * dkv; // per token per layer
+    double n_rec = 0.0;
+    if (sys.kv.recompute == RecomputeMode::Over) {
+        n_rec = eligible;
+    } else if (sys.kv.recompute == RecomputeMode::Auto) {
+        // Roofline balancing (Section 8.3.2): recompute tokens while
+        // the RSA would otherwise stall on memory, stopping exactly at
+        // the compute/memory crossing so recomputation can slow
+        // nothing down. Each recomputed token-layer removes its KV
+        // bytes from DRAM and adds 2*d*dKv MACs.
+        const double resident0 = B * L * nd * kv_tok;
+        const double dram0 = w_step + resident0;
+        const double bw =
+            tech.dram.bandwidth().value * tech.dramEfficiency;
+        const double t_mem = dram0 / bw;
+        const double flops =
+            tech.rsa.utilization * tech.rsa.peakMacsPerSec();
+        const double t_comp = c.macs / flops;
+        if (t_mem > t_comp) {
+            const double cost_per_tok =
+                B * L * macs_per_recomp / flops; // d t_comp / dn
+            const double save_per_tok =
+                B * L * kv_tok / bw; // d t_mem / dn
+            n_rec = (t_mem - t_comp) / (cost_per_tok + save_per_tok);
+            n_rec = std::min(eligible, n_rec);
+        }
+    }
+    c.recomputedTokens = n_rec;
+    c.recomputeMacs = B * L * n_rec * macs_per_recomp;
+    c.macs += c.recomputeMacs;
+
+    // Resident KV: recomputed tokens hold one activation vector x
+    // (with on-chip placement priority) instead of a KV pair
+    // (Section 4.1.2), so their KV bytes leave the stream entirely
+    // and the x read replaces half of them.
+    const double kv_res_layer =
+        nd * kv_tok - n_rec * std::max(0.0, kv_tok - x_tok);
+    c.residentKvBytes = B * L * kv_res_layer;
+
+    // Working set: every layer's attention intermediates (score rows,
+    // staged Q/K/V) compete with resident KV for on-chip capacity;
+    // the overflow round-trips DRAM once per layer per step.
+    const double ws = B * (static_cast<double>(m.nHeads) * nd * 2.0 +
+                           3.0 * d * 2.0);
+    const double kv_cap = tech.kvMemory.capacity().b();
+    const double spill = std::max(0.0, ws - kv_cap);
+    const double avail = std::max(0.0, kv_cap - ws);
+    c.onChipResidentKvBytes = std::min(c.residentKvBytes, avail);
+    const double f_on = c.residentKvBytes > 0
+                            ? c.onChipResidentKvBytes / c.residentKvBytes
+                            : 0.0;
+
+    // Traffic: every resident KV byte is read once per step; the new
+    // token's KV is written. When the score rows do not fit on chip,
+    // the scheduler picks the cheaper of (a) spilling them to DRAM or
+    // (b) two-pass online attention, which re-reads K/V instead of
+    // materializing probabilities — either way, insufficient on-chip
+    // capacity amplifies traffic, increasingly so with sequence
+    // length (the Figure 3a effect).
+    double kv_reads = c.residentKvBytes;
+    const double kv_writes = B * L * kv_tok;
+    double spill_dram = 0.0;
+    if (spill > 0.0) {
+        const double spill_traffic = 2.0 * spill * L;
+        if (kv_reads <= spill_traffic) {
+            kv_reads *= 2.0; // two-pass re-read
+        } else {
+            spill_dram = spill_traffic;
+        }
+    }
+    c.dramBytes = w_step + (1.0 - f_on) * (kv_reads + kv_writes) +
+                  spill_dram;
+    // All KV operands stage through the on-chip KV memory on their way
+    // to the RSA (Figure 10): one write and one read per byte. This is
+    // where eDRAM's per-byte access advantage over SRAM (84.8 vs
+    // 185.9 pJ/B) acts on the dominant traffic stream.
+    c.onChipKvBytes = 2.0 * (kv_reads + kv_writes) +
+                      2.0 * std::min(ws, kv_cap) * L;
+
+    // SFU: softermax over every head's scores (2 LUT ops per element),
+    // two RMSNorms and the FFN activation per layer.
+    c.sfuOps = B * L *
+               (2.0 * static_cast<double>(m.nHeads) * nd + 4.0 * d +
+                static_cast<double>(m.dFfn));
+
+    // Phase times. Recomputation is issued during memory stalls
+    // (Section 8.3.2, "recomputed in parallel during the load"), so
+    // its RSA time folds into the DRAM phase as a max even under the
+    // serial baseline schedule, and only the non-recompute MACs sit
+    // on the compute phase.
+    const double flops2 =
+        tech.rsa.utilization * tech.rsa.peakMacsPerSec();
+    const double t_dram_raw =
+        c.dramBytes / (tech.dram.bandwidth().value * tech.dramEfficiency);
+    const double t_recomp = c.recomputeMacs / flops2;
+    c.phases.dram = Time::seconds(std::max(t_dram_raw, t_recomp));
+    c.phases.sramW =
+        Time::seconds(w_step / tech.weightSram.bandwidth().value);
+    c.phases.kvMem =
+        Time::seconds(c.onChipKvBytes / tech.kvMemory.bandwidth().value);
+    c.phases.compute =
+        Time::seconds((c.macs - c.recomputeMacs) / flops2);
+    c.phases.sfu = Time::seconds(
+        c.sfuOps / (static_cast<double>(tech.sfu.lanes) *
+                    tech.rsa.clockHz));
+    return c;
+}
+
+/** Accumulate the energy of one phase given its latency and costs. */
+EnergyBreakdown
+phaseEnergy(const SystemConfig &sys, const StepCosts &c, Time latency,
+            Time t_sram_layer, Time t_kv_layer, const Workload &w)
+{
+    const auto &tech = sys.tech;
+    EnergyBreakdown e;
+    e.rsa = tech.rsa.macEnergy * c.macs;
+    e.sfu = tech.sfu.opEnergy * c.sfuOps;
+    // Weights pass through the staging SRAM: one write + one read.
+    const double w_step = w.model.weightBytes(tech.weightBits);
+    e.weightSram =
+        tech.weightSram.accessEnergy() * Bytes(2.0 * w_step);
+    e.kvMem = tech.kvMemory.accessEnergy() * Bytes(c.onChipKvBytes);
+    e.dram = tech.dram.accessEnergy() * Bytes(c.dramBytes);
+
+    // Refresh: resident KV in eDRAM plus transient activations whose
+    // lifetime follows the scheduler (Eq. 7-8).
+    if (tech.kvIsEdram) {
+        e.refresh += refreshPower(sys, c.onChipResidentKvBytes) * latency;
+    }
+    if (tech.actIsEdram &&
+        sys.refresh.mode != RefreshSpec::Mode::None) {
+        const Time interval = transientRefreshInterval(sys);
+        if (interval.sec() > 0) {
+            const Time lifetime = transientLifetime(
+                sys.scheduler, t_sram_layer, t_kv_layer);
+            const double act_bytes =
+                static_cast<double>(w.batch) * 4.0 *
+                static_cast<double>(w.model.dModel) * 2.0 *
+                static_cast<double>(w.model.layers);
+            const double refreshes_per_byte =
+                lifetime.sec() / interval.sec();
+            e.refresh += Energy::joules(
+                tech.kvEdram.refreshEnergy.value * act_bytes *
+                refreshes_per_byte);
+        }
+    }
+
+    Power background = tech.weightSram.leakage() +
+                       tech.kvMemory.leakage() +
+                       tech.actBuffer.leakage() + tech.dram.leakage() +
+                       tech.socStaticPower;
+    if (sys.kv.evict && sys.kv.systolicEvictor)
+        background += Power::watts(kEvictorPowerW);
+    e.leakage = background * latency;
+    return e;
+}
+
+} // namespace
+
+Energy
+RunReport::totalEnergy() const
+{
+    EnergyBreakdown sum = prefillEnergy;
+    sum += decodeEnergy;
+    return sum.total();
+}
+
+double
+RunReport::tokensPerSecond(const Workload &w) const
+{
+    const double tokens =
+        static_cast<double>(w.decLen) * static_cast<double>(w.batch);
+    return tokens / decodeLatency.sec();
+}
+
+double
+RunReport::opIntensity() const
+{
+    return dramBytesTotal > 0 ? 2.0 * macsTotal / dramBytesTotal : 0.0;
+}
+
+double
+RunReport::achievedOpsPerSec() const
+{
+    const double t = totalLatency().sec();
+    return t > 0 ? 2.0 * macsTotal / t : 0.0;
+}
+
+RunReport
+simulate(const SystemConfig &sys, const Workload &w)
+{
+    KELLE_ASSERT(w.decLen > 0 && w.batch > 0, "degenerate workload");
+    const auto &tech = sys.tech;
+    RunReport rep;
+
+    // ---- Prefill -------------------------------------------------
+    {
+        const double B = static_cast<double>(w.batch);
+        const double L = static_cast<double>(w.model.layers);
+        StepCosts c;
+        double macs = B * w.model.macsPrefill(w.ctxLen);
+        if (sys.prefillAttnSparsity > 0.0) {
+            macs -= sys.prefillAttnSparsity * B *
+                    w.model.macsPrefillAttention(w.ctxLen);
+        }
+        c.macs = macs;
+
+        const double w_bytes = w.model.weightBytes(tech.weightBits);
+        // Per-layer activation round trips that overflow the buffer.
+        const double act_layer = B * static_cast<double>(w.ctxLen) *
+                                 static_cast<double>(w.model.dModel) * 2.0;
+        double act_spill = 0.0;
+        if (act_layer > tech.actBuffer.capacity().b())
+            act_spill = 2.0 * act_layer * L;
+        // FlashAttention-style IO for the quadratic attention: query
+        // blocks sized by on-chip capacity re-stream K/V per block, so
+        // prefill attention traffic scales inversely with capacity.
+        const double n_ctx = static_cast<double>(w.ctxLen);
+        const double row_bytes =
+            4.0 * static_cast<double>(w.model.dModel) * 2.0;
+        const double block_rows = std::max(
+            1.0, 0.5 * tech.kvMemory.capacity().b() / row_bytes);
+        const double kv_layer_bytes =
+            n_ctx * static_cast<double>(w.model.dKv()) * 2.0 * 2.0;
+        const double attn_reread =
+            B * L * std::ceil(n_ctx / block_rows) * kv_layer_bytes;
+        const double kv_written =
+            B * static_cast<double>(w.ctxLen) *
+            w.model.kvBytesPerToken(sys.kv.kvBits);
+        c.dramBytes = w_bytes + act_spill + attn_reread + kv_written;
+        c.onChipKvBytes = 2.0 * (kv_written + attn_reread);
+        c.sfuOps = B * L *
+                   (static_cast<double>(w.model.nHeads) *
+                        static_cast<double>(w.ctxLen) *
+                        static_cast<double>(w.ctxLen) +
+                    (4.0 * static_cast<double>(w.model.dModel) +
+                     static_cast<double>(w.model.dFfn)) *
+                        static_cast<double>(w.ctxLen));
+
+        c.phases.dram =
+            Time::seconds(c.dramBytes / (tech.dram.bandwidth().value *
+                                     tech.dramEfficiency));
+        c.phases.sramW =
+            Time::seconds(w_bytes / tech.weightSram.bandwidth().value);
+        c.phases.kvMem = Time::seconds(
+            c.onChipKvBytes / tech.kvMemory.bandwidth().value);
+        c.phases.compute = Time::seconds(
+            c.macs / (tech.rsa.utilization * tech.rsa.peakMacsPerSec() *
+                      sys.prefillComputeSpeedup));
+        c.phases.sfu = Time::seconds(
+            c.sfuOps / (static_cast<double>(tech.sfu.lanes) *
+                        tech.rsa.clockHz));
+
+        rep.prefillLatency = composeStepLatency(sys.scheduler, c.phases);
+        rep.prefillEnergy = phaseEnergy(
+            sys, c, rep.prefillLatency,
+            Time::seconds(c.phases.sramW.sec() / L),
+            Time::seconds(c.phases.kvMem.sec() / L), w);
+        rep.dramBytesTotal += c.dramBytes;
+        rep.macsTotal += c.macs;
+    }
+
+    // ---- Decode --------------------------------------------------
+    Time decode_latency = Time::seconds(0);
+    EnergyBreakdown decode_energy;
+    double recomp_acc = 0.0;
+    double f_on_acc = 0.0;
+    for (std::size_t t = 0; t < w.decLen; ++t) {
+        StepCosts c = decodeStepCosts(sys, w, t);
+        Time step = composeStepLatency(sys.scheduler, c.phases);
+        if (sys.kv.evict && !sys.kv.systolicEvictor)
+            step *= (1.0 + kSoftwareEvictLatencyOverhead);
+
+        const double L = static_cast<double>(w.model.layers);
+        EnergyBreakdown e = phaseEnergy(
+            sys, c, step, Time::seconds(c.phases.sramW.sec() / L),
+            Time::seconds(c.phases.kvMem.sec() / L), w);
+        if (sys.kv.evict && !sys.kv.systolicEvictor) {
+            const double scale = 1.0 + kSoftwareEvictEnergyOverhead;
+            e.rsa *= scale;
+            e.sfu *= scale;
+            e.kvMem *= scale;
+        }
+
+        decode_latency += step;
+        decode_energy += e;
+        rep.dramBytesTotal += c.dramBytes;
+        rep.macsTotal += c.macs;
+        recomp_acc += c.recomputedTokens;
+        f_on_acc += c.residentKvBytes > 0
+                        ? c.onChipResidentKvBytes / c.residentKvBytes
+                        : 0.0;
+        if (t + 1 == w.decLen)
+            rep.kvResidentBytesEnd = c.residentKvBytes;
+    }
+    rep.decodeLatency = decode_latency;
+    rep.decodeEnergy = decode_energy;
+    rep.recomputedTokensPerStep =
+        recomp_acc / static_cast<double>(w.decLen);
+    rep.kvOnChipFraction = f_on_acc / static_cast<double>(w.decLen);
+    return rep;
+}
+
+Comparison
+compare(const RunReport &base, const RunReport &sys)
+{
+    Comparison c;
+    c.speedup = base.totalLatency() / sys.totalLatency();
+    c.energyEfficiency = base.totalEnergy() / sys.totalEnergy();
+    return c;
+}
+
+SystemConfig
+originalSramSystem()
+{
+    SystemConfig s;
+    s.name = "Original+SRAM";
+    s.tech = originalSramTech();
+    s.scheduler = SchedulerKind::Baseline;
+    s.kv.evict = false;
+    s.kv.recompute = RecomputeMode::None;
+    s.kv.systolicEvictor = false;
+    s.refresh.mode = RefreshSpec::Mode::None;
+    return s;
+}
+
+SystemConfig
+originalEdramSystem()
+{
+    SystemConfig s;
+    s.name = "Original+eDRAM";
+    s.tech = kelleTech();
+    s.scheduler = SchedulerKind::Baseline;
+    s.kv.evict = false;
+    s.kv.recompute = RecomputeMode::None;
+    s.kv.systolicEvictor = false;
+    s.refresh.mode = RefreshSpec::Mode::Retention;
+    return s;
+}
+
+SystemConfig
+aepSramSystem(std::size_t budget)
+{
+    SystemConfig s;
+    s.name = "AEP+SRAM";
+    s.tech = originalSramTech();
+    s.scheduler = SchedulerKind::Baseline;
+    s.kv.evict = true;
+    s.kv.budget = budget;
+    s.kv.recompute = RecomputeMode::None;
+    s.kv.systolicEvictor = true;
+    s.refresh.mode = RefreshSpec::Mode::None;
+    return s;
+}
+
+SystemConfig
+aerpSramSystem(std::size_t budget)
+{
+    SystemConfig s = aepSramSystem(budget);
+    s.name = "AERP+SRAM";
+    s.kv.recompute = RecomputeMode::Auto;
+    return s;
+}
+
+SystemConfig
+kelleEdramSystem(std::size_t budget)
+{
+    SystemConfig s;
+    s.name = "Kelle+eDRAM";
+    s.tech = kelleTech();
+    s.scheduler = SchedulerKind::Kelle;
+    s.kv.evict = true;
+    s.kv.budget = budget;
+    s.kv.recompute = RecomputeMode::Auto;
+    s.kv.systolicEvictor = true;
+    s.refresh.mode = RefreshSpec::Mode::TwoD;
+    return s;
+}
+
+} // namespace accel
+} // namespace kelle

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * End-to-end analytic performance/energy model of an edge LLM serving
+ * system (the engine behind Sections 3 and 8).
+ *
+ * The model composes, per decode step and per prefill:
+ *   - DRAM traffic: streamed weights, offloaded KV, working-set spill;
+ *   - on-chip traffic: weight SRAM stream, KV memory stream;
+ *   - RSA compute from the model's MAC counts (+ AERP recomputation);
+ *   - SFU time for softmax/normalization/activations;
+ *   - the schedule of Section 6 (serial baseline vs overlapped Kelle);
+ *   - eDRAM refresh energy: resident KV per 2DRP group plus transient
+ *     activations weighted by the Eq. 7-8 lifetimes;
+ *   - leakage and DRAM background power.
+ *
+ * Working-set model: each step's attention intermediates
+ * (score rows, staged Q/K/V) must fit in the on-chip KV memory next
+ * to resident KV; the overflow spills to DRAM. This reproduces the
+ * paper's Figure 3a observation that a larger on-chip memory pays off
+ * increasingly at longer sequence lengths.
+ */
+
+#ifndef KELLE_ACCEL_TIMING_MODEL_HPP
+#define KELLE_ACCEL_TIMING_MODEL_HPP
+
+#include <string>
+
+#include "accel/energy_model.hpp"
+#include "accel/scheduler.hpp"
+#include "accel/technology.hpp"
+#include "edram/refresh_policy.hpp"
+#include "model/model_config.hpp"
+
+namespace kelle {
+namespace accel {
+
+/** How AERP recomputation is deployed (Section 8.3.2 roofline). */
+enum class RecomputeMode
+{
+    None, ///< no recomputation (AEP)
+    Auto, ///< fill RSA slack during memory stalls (deployed Kelle)
+    Over, ///< recompute every popular token (the Over-Recomp regime)
+};
+
+/** KV-cache management configuration of the simulated system. */
+struct KvPolicySpec
+{
+    bool evict = true;          ///< attention-based eviction on
+    std::size_t budget = 2048;  ///< token budget N' per head
+    RecomputeMode recompute = RecomputeMode::Auto;
+    /**
+     * Fraction of resident tokens eligible for x-storage (popular in
+     * >= theta of heads). 0.35 is what the functional substrate
+     * measures with theta = 50% (see EXPERIMENTS.md).
+     */
+    double popularFraction = 0.35;
+    int kvBits = 16;            ///< stored KV precision
+    bool systolicEvictor = true; ///< hardware evictor present
+};
+
+/** eDRAM refresh configuration. */
+struct RefreshSpec
+{
+    enum class Mode
+    {
+        None,      ///< SRAM system: no refresh
+        Retention, ///< refresh at the 45 us retention floor ("Org")
+        Uniform,   ///< one uniform interval
+        TwoD,      ///< 2DRP group intervals
+    };
+    Mode mode = Mode::TwoD;
+    edram::RefreshIntervals intervals =
+        edram::RefreshIntervals::paper2drp();
+    /** Fraction of resident tokens in the HST group. */
+    double hstFraction = 0.5;
+};
+
+/** A complete simulated system. */
+struct SystemConfig
+{
+    std::string name = "Kelle+eDRAM";
+    TechnologyConfig tech = kelleTech();
+    SchedulerKind scheduler = SchedulerKind::Kelle;
+    KvPolicySpec kv;
+    RefreshSpec refresh;
+
+    /** Prefill-side accelerations of the Figure 14 comparators. */
+    double prefillComputeSpeedup = 1.0; ///< LLM.npu NPU offload
+    double prefillAttnSparsity = 0.0;   ///< DynaX sparse attention
+};
+
+/** Factory functions for the five Figure 13 systems. */
+SystemConfig originalSramSystem();
+SystemConfig originalEdramSystem();
+SystemConfig aepSramSystem(std::size_t budget);
+SystemConfig aerpSramSystem(std::size_t budget);
+SystemConfig kelleEdramSystem(std::size_t budget);
+
+/** A serving workload (Section 8 task settings). */
+struct Workload
+{
+    std::string name = "PG19";
+    model::ModelConfig model = model::llama2_7b();
+    std::size_t ctxLen = 512;
+    std::size_t decLen = 8192;
+    std::size_t batch = 16;
+};
+
+/** Simulation output. */
+struct RunReport
+{
+    Time prefillLatency;
+    Time decodeLatency;
+    EnergyBreakdown prefillEnergy;
+    EnergyBreakdown decodeEnergy;
+
+    double dramBytesTotal = 0.0;
+    double macsTotal = 0.0;
+    double recomputedTokensPerStep = 0.0;
+    double kvResidentBytesEnd = 0.0;
+    double kvOnChipFraction = 0.0;
+
+    Time totalLatency() const { return prefillLatency + decodeLatency; }
+    Energy totalEnergy() const;
+    /** Generated tokens per second across the batch. */
+    double tokensPerSecond(const Workload &w) const;
+    /** Arithmetic intensity: 2*MACs / DRAM bytes. */
+    double opIntensity() const;
+    /** Achieved compute rate in ops/s (2 ops per MAC). */
+    double achievedOpsPerSec() const;
+};
+
+/** Run the analytic simulation. */
+RunReport simulate(const SystemConfig &sys, const Workload &w);
+
+/** Speedup and energy-efficiency of `sys` relative to `base`. */
+struct Comparison
+{
+    double speedup = 1.0;
+    double energyEfficiency = 1.0;
+};
+Comparison compare(const RunReport &base, const RunReport &sys);
+
+} // namespace accel
+} // namespace kelle
+
+#endif // KELLE_ACCEL_TIMING_MODEL_HPP

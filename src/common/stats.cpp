@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace stats {
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    KELLE_ASSERT(hi > lo && bins > 0, "degenerate histogram");
+}
+
+void
+Histogram::sample(double v)
+{
+    double frac = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(frac * static_cast<double>(bins_.size()));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<long>(bins_.size()))
+        idx = static_cast<long>(bins_.size()) - 1;
+    ++bins_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(bins_.size());
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        os << "[" << binLow(i) << ", " << binLow(i + 1) << "): " << bins_[i]
+           << "\n";
+    }
+    return os.str();
+}
+
+double
+Group::get(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool
+Group::has(const std::string &key) const
+{
+    return counters_.find(key) != counters_.end();
+}
+
+void
+Group::merge(const Group &other)
+{
+    for (const auto &[k, v] : other.counters())
+        counters_[k] += v;
+}
+
+std::string
+Group::toString() const
+{
+    std::ostringstream os;
+    if (!name_.empty())
+        os << name_ << ":\n";
+    for (const auto &[k, v] : counters_)
+        os << "  " << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace stats
+} // namespace kelle

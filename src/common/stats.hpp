@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lightweight statistics collection: named scalar counters, running
+ * summaries (mean/min/max/stddev) and fixed-bin histograms. Components
+ * own a Stats::Group and register their counters so experiment drivers
+ * can dump everything uniformly.
+ */
+
+#ifndef KELLE_COMMON_STATS_HPP
+#define KELLE_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kelle {
+namespace stats {
+
+/** Running scalar summary without storing samples. */
+class Summary
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (n_ == 0) {
+            min_ = max_ = v;
+        } else {
+            if (v < min_)
+                min_ = v;
+            if (v > max_)
+                max_ = v;
+        }
+        ++n_;
+        // Welford's online update keeps the variance numerically stable.
+        double delta = v - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (v - mean_);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return mean_; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+    double variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    double stddev() const;
+
+    void
+    reset()
+    {
+        *this = Summary();
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range goes to edge bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void sample(double v);
+    std::uint64_t binCount(std::size_t i) const { return bins_.at(i); }
+    std::size_t numBins() const { return bins_.size(); }
+    std::uint64_t total() const { return total_; }
+    double binLow(std::size_t i) const;
+    std::string toString() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named group of counters. Counters are created on first use, so
+ * model code can write `group.add("dram_bytes", n)` unconditionally.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name = "") : name_(std::move(name)) {}
+
+    void
+    add(const std::string &key, double delta)
+    {
+        counters_[key] += delta;
+    }
+    void
+    set(const std::string &key, double value)
+    {
+        counters_[key] = value;
+    }
+    double get(const std::string &key) const;
+    bool has(const std::string &key) const;
+
+    const std::map<std::string, double> &counters() const { return counters_; }
+    const std::string &name() const { return name_; }
+
+    /** Merge all counters from another group into this one. */
+    void merge(const Group &other);
+    void reset() { counters_.clear(); }
+
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> counters_;
+};
+
+} // namespace stats
+} // namespace kelle
+
+#endif // KELLE_COMMON_STATS_HPP

@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace kelle {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    KELLE_ASSERT(row.size() == header_.size(),
+                 "table row arity ", row.size(), " != header arity ",
+                 header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::mult(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    return num(v * 100.0, precision) + "%";
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t i = 0; i < row.size(); ++i)
+            os << " " << std::setw(static_cast<int>(widths[i])) << row[i]
+               << " |";
+        os << "\n";
+    };
+    auto rule = [&]() {
+        os << "|";
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << "|";
+        os << "\n";
+    };
+    emit(header_);
+    rule();
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print(const std::string &caption) const
+{
+    if (!caption.empty())
+        std::printf("%s\n", caption.c_str());
+    std::printf("%s\n", render().c_str());
+}
+
+} // namespace kelle

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ASCII table rendering used by the bench harnesses to print paper
+ * tables and figure series in a uniform, diffable format.
+ */
+
+#ifndef KELLE_COMMON_TABLE_HPP
+#define KELLE_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace kelle {
+
+/** Column-aligned ASCII table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+    /** Format as a multiplier, e.g. "3.94x". */
+    static std::string mult(double v, int precision = 2);
+    /** Format as a percentage, e.g. "46.0%". */
+    static std::string pct(double v, int precision = 1);
+
+    std::string render() const;
+    /** Print to stdout with an optional caption line. */
+    void print(const std::string &caption = "") const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace kelle
+
+#endif // KELLE_COMMON_TABLE_HPP

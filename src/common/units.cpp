@@ -1,0 +1,45 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace kelle {
+
+std::string
+formatSi(double value, const std::string &unit)
+{
+    struct Scale
+    {
+        double factor;
+        const char *prefix;
+    };
+    static constexpr std::array<Scale, 9> scales = {{
+        {1e12, "T"},
+        {1e9, "G"},
+        {1e6, "M"},
+        {1e3, "k"},
+        {1.0, ""},
+        {1e-3, "m"},
+        {1e-6, "u"},
+        {1e-9, "n"},
+        {1e-12, "p"},
+    }};
+
+    double mag = value < 0 ? -value : value;
+    if (mag == 0.0)
+        return "0 " + unit;
+
+    for (const auto &s : scales) {
+        if (mag >= s.factor) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.3g %s%s", value / s.factor,
+                          s.prefix, unit.c_str());
+            return buf;
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g %s", value, unit.c_str());
+    return buf;
+}
+
+} // namespace kelle

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Strong unit types used throughout the Kelle simulator.
+ *
+ * Latency, energy and capacity bugs in architecture models are almost
+ * always unit bugs. Seconds, joules, bytes and cycles are therefore
+ * wrapped in distinct arithmetic types so that, e.g., adding a latency
+ * to an energy fails to compile. Conversions to raw doubles are explicit.
+ */
+
+#ifndef KELLE_COMMON_UNITS_HPP
+#define KELLE_COMMON_UNITS_HPP
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace kelle {
+
+/**
+ * CRTP base providing the arithmetic shared by all scalar unit types.
+ * Derived types are distinct, so cross-unit arithmetic will not compile.
+ */
+template <typename Derived>
+struct UnitBase
+{
+    double value = 0.0;
+
+    constexpr UnitBase() = default;
+    explicit constexpr UnitBase(double v) : value(v) {}
+
+    friend constexpr Derived
+    operator+(Derived a, Derived b)
+    {
+        return Derived(a.value + b.value);
+    }
+    friend constexpr Derived
+    operator-(Derived a, Derived b)
+    {
+        return Derived(a.value - b.value);
+    }
+    friend constexpr Derived operator*(Derived a, double s)
+    {
+        return Derived(a.value * s);
+    }
+    friend constexpr Derived operator*(double s, Derived a)
+    {
+        return Derived(a.value * s);
+    }
+    friend constexpr Derived
+    operator/(Derived a, double s)
+    {
+        return Derived(a.value / s);
+    }
+    /** Ratio of two like quantities is dimensionless. */
+    friend constexpr double
+    operator/(Derived a, Derived b)
+    {
+        return a.value / b.value;
+    }
+    friend constexpr auto operator<=>(Derived a, Derived b)
+    {
+        return a.value <=> b.value;
+    }
+    friend constexpr bool
+    operator==(Derived a, Derived b)
+    {
+        return a.value == b.value;
+    }
+    Derived &
+    operator+=(Derived b)
+    {
+        value += b.value;
+        return static_cast<Derived &>(*this);
+    }
+    Derived &
+    operator-=(Derived b)
+    {
+        value -= b.value;
+        return static_cast<Derived &>(*this);
+    }
+    Derived &
+    operator*=(double s)
+    {
+        value *= s;
+        return static_cast<Derived &>(*this);
+    }
+};
+
+/** Wall-clock time in seconds. */
+struct Time : UnitBase<Time>
+{
+    using UnitBase::UnitBase;
+    static constexpr Time seconds(double s) { return Time(s); }
+    static constexpr Time millis(double ms) { return Time(ms * 1e-3); }
+    static constexpr Time micros(double us) { return Time(us * 1e-6); }
+    static constexpr Time nanos(double ns) { return Time(ns * 1e-9); }
+    static constexpr Time picos(double ps) { return Time(ps * 1e-12); }
+    constexpr double sec() const { return value; }
+    constexpr double ms() const { return value * 1e3; }
+    constexpr double us() const { return value * 1e6; }
+    constexpr double ns() const { return value * 1e9; }
+};
+
+/** Energy in joules. */
+struct Energy : UnitBase<Energy>
+{
+    using UnitBase::UnitBase;
+    static constexpr Energy joules(double j) { return Energy(j); }
+    static constexpr Energy millis(double mj) { return Energy(mj * 1e-3); }
+    static constexpr Energy micros(double uj) { return Energy(uj * 1e-6); }
+    static constexpr Energy nanos(double nj) { return Energy(nj * 1e-9); }
+    static constexpr Energy picos(double pj) { return Energy(pj * 1e-12); }
+    constexpr double j() const { return value; }
+    constexpr double mj() const { return value * 1e3; }
+    constexpr double uj() const { return value * 1e6; }
+    constexpr double pj() const { return value * 1e12; }
+};
+
+/** Power in watts. */
+struct Power : UnitBase<Power>
+{
+    using UnitBase::UnitBase;
+    static constexpr Power watts(double w) { return Power(w); }
+    static constexpr Power milliwatts(double mw) { return Power(mw * 1e-3); }
+    constexpr double w() const { return value; }
+    constexpr double mw() const { return value * 1e3; }
+};
+
+/** Silicon area in mm^2. */
+struct Area : UnitBase<Area>
+{
+    using UnitBase::UnitBase;
+    static constexpr Area mm2(double a) { return Area(a); }
+    constexpr double inMm2() const { return value; }
+};
+
+/** Power * time = energy; energy / time = power. */
+constexpr Energy operator*(Power p, Time t)
+{
+    return Energy(p.value * t.value);
+}
+constexpr Energy operator*(Time t, Power p)
+{
+    return Energy(p.value * t.value);
+}
+constexpr Power
+operator/(Energy e, Time t)
+{
+    return Power(e.value / t.value);
+}
+constexpr Time
+operator/(Energy e, Power p)
+{
+    return Time(e.value / p.value);
+}
+
+/** Data capacity / traffic volume in bytes (fractional bytes allowed for
+ *  sub-byte quantization accounting). */
+struct Bytes : UnitBase<Bytes>
+{
+    using UnitBase::UnitBase;
+    static constexpr Bytes count(double b) { return Bytes(b); }
+    static constexpr Bytes kib(double k) { return Bytes(k * 1024.0); }
+    static constexpr Bytes mib(double m) { return Bytes(m * 1024.0 * 1024.0); }
+    static constexpr Bytes
+    gib(double g)
+    {
+        return Bytes(g * 1024.0 * 1024.0 * 1024.0);
+    }
+    constexpr double b() const { return value; }
+    constexpr double inKib() const { return value / 1024.0; }
+    constexpr double inMib() const { return value / (1024.0 * 1024.0); }
+    constexpr double inGib() const { return value / (1024.0 * 1024.0 * 1024.0); }
+};
+
+/** Bandwidth in bytes/second. */
+struct Bandwidth : UnitBase<Bandwidth>
+{
+    using UnitBase::UnitBase;
+    static constexpr Bandwidth
+    gibPerSec(double g)
+    {
+        return Bandwidth(g * 1024.0 * 1024.0 * 1024.0);
+    }
+    static constexpr Bandwidth bytesPerSec(double b) { return Bandwidth(b); }
+    constexpr double
+    inGibPerSec() const
+    {
+        return value / (1024.0 * 1024.0 * 1024.0);
+    }
+};
+
+/** Transfer time for a volume over a link. */
+constexpr Time
+operator/(Bytes b, Bandwidth bw)
+{
+    return Time(b.value / bw.value);
+}
+
+/** Energy-per-byte access cost; multiply by a traffic volume. */
+struct EnergyPerByte : UnitBase<EnergyPerByte>
+{
+    using UnitBase::UnitBase;
+    static constexpr EnergyPerByte
+    picojoules(double pj)
+    {
+        return EnergyPerByte(pj * 1e-12);
+    }
+    constexpr double pjPerByte() const { return value * 1e12; }
+};
+
+constexpr Energy operator*(EnergyPerByte e, Bytes b)
+{
+    return Energy(e.value * b.value);
+}
+constexpr Energy operator*(Bytes b, EnergyPerByte e)
+{
+    return Energy(e.value * b.value);
+}
+
+/** Clock cycle count. Integer semantics, explicit conversion to Time. */
+struct Cycles
+{
+    std::uint64_t count = 0;
+
+    constexpr Cycles() = default;
+    explicit constexpr Cycles(std::uint64_t c) : count(c) {}
+
+    friend constexpr Cycles
+    operator+(Cycles a, Cycles b)
+    {
+        return Cycles(a.count + b.count);
+    }
+    friend constexpr Cycles
+    operator-(Cycles a, Cycles b)
+    {
+        return Cycles(a.count - b.count);
+    }
+    friend constexpr auto operator<=>(Cycles a, Cycles b) = default;
+    Cycles &
+    operator+=(Cycles b)
+    {
+        count += b.count;
+        return *this;
+    }
+
+    /** Convert to wall time at the given clock frequency (Hz). */
+    constexpr Time
+    atFrequency(double hz) const
+    {
+        return Time(static_cast<double>(count) / hz);
+    }
+};
+
+/** Human-readable engineering formatting, e.g. "3.21 ms", "84.8 pJ". */
+std::string formatSi(double value, const std::string &unit);
+
+inline std::string toString(Time t) { return formatSi(t.sec(), "s"); }
+inline std::string toString(Energy e) { return formatSi(e.j(), "J"); }
+inline std::string toString(Power p) { return formatSi(p.w(), "W"); }
+
+} // namespace kelle
+
+#endif // KELLE_COMMON_UNITS_HPP

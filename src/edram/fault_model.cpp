@@ -1,0 +1,90 @@
+#include "edram/fault_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace edram {
+
+RefreshFaultModel::RefreshFaultModel(
+    const std::array<double, kNumRefreshGroups> &rates, std::uint64_t seed,
+    int)
+    : rates_(rates), rng_(seed)
+{
+    for (double p : rates_)
+        KELLE_ASSERT(p >= 0.0 && p <= 1.0, "flip rate out of range: ", p);
+}
+
+RefreshFaultModel::RefreshFaultModel(const TwoDRefreshPolicy &policy,
+                                     std::uint64_t seed)
+    : RefreshFaultModel(
+          {policy.failureRate(RefreshGroup::HstMsb),
+           policy.failureRate(RefreshGroup::HstLsb),
+           policy.failureRate(RefreshGroup::LstMsb),
+           policy.failureRate(RefreshGroup::LstLsb)},
+          seed, 0)
+{}
+
+RefreshFaultModel
+RefreshFaultModel::uniformRate(double p, std::uint64_t seed)
+{
+    return RefreshFaultModel({p, p, p, p}, seed, 0);
+}
+
+RefreshFaultModel
+RefreshFaultModel::withRates(
+    const std::array<double, kNumRefreshGroups> &rates, std::uint64_t seed)
+{
+    return RefreshFaultModel(rates, seed, 0);
+}
+
+void
+RefreshFaultModel::corruptLane(std::span<std::uint16_t> words,
+                               bool high_byte, double p)
+{
+    const std::uint64_t nbits = 8 * words.size();
+    bits_ += nbits;
+    if (p <= 0.0 || words.empty())
+        return;
+    if (p >= 1.0) {
+        for (auto &w : words)
+            w ^= high_byte ? 0xFF00u : 0x00FFu;
+        flips_ += nbits;
+        return;
+    }
+
+    // Geometric skipping: successive flip positions are separated by
+    // Geometric(p) gaps, so cost is O(#flips) instead of O(#bits).
+    const double log1mp = std::log1p(-p);
+    std::uint64_t idx = 0;
+    while (true) {
+        double u = rng_.uniform();
+        while (u <= 0.0)
+            u = rng_.uniform();
+        idx += static_cast<std::uint64_t>(std::log(u) / log1mp);
+        if (idx >= nbits)
+            break;
+        const std::uint64_t word = idx / 8;
+        const unsigned bit = static_cast<unsigned>(idx % 8) +
+                             (high_byte ? 8u : 0u);
+        words[word] ^= static_cast<std::uint16_t>(1u << bit);
+        ++flips_;
+        ++idx;
+    }
+}
+
+void
+RefreshFaultModel::corrupt(std::span<std::uint16_t> words,
+                           const kv::FaultContext &ctx)
+{
+    const RefreshGroup msb =
+        ctx.highScoreToken ? RefreshGroup::HstMsb : RefreshGroup::LstMsb;
+    const RefreshGroup lsb =
+        ctx.highScoreToken ? RefreshGroup::HstLsb : RefreshGroup::LstLsb;
+    corruptLane(words, /*high_byte=*/true, rateOf(msb));
+    corruptLane(words, /*high_byte=*/false, rateOf(lsb));
+}
+
+} // namespace edram
+} // namespace kelle

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-flip fault injection driven by the refresh policy.
+ *
+ * Implements the kv::FaultInjector interface: when the KV cache reads
+ * stored fp16 words, each bit may have decayed since its last refresh.
+ * The flip probability of a bit depends on its 2DRP group — the token's
+ * importance class (HST/LST, supplied by the cache per read) crossed
+ * with the bit's significance (MSB byte = bits 15..8, LSB byte =
+ * bits 7..0 of each word, the layout of Figure 7c / Figure 10).
+ *
+ * Sampling uses geometric skipping so injection cost scales with the
+ * number of flips, not the number of bits.
+ */
+
+#ifndef KELLE_EDRAM_FAULT_MODEL_HPP
+#define KELLE_EDRAM_FAULT_MODEL_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "kvcache/fault.hpp"
+#include "edram/refresh_policy.hpp"
+
+namespace kelle {
+namespace edram {
+
+/** FaultInjector whose flip rates derive from a TwoDRefreshPolicy. */
+class RefreshFaultModel final : public kv::FaultInjector
+{
+  public:
+    RefreshFaultModel(const TwoDRefreshPolicy &policy, std::uint64_t seed);
+
+    /** Uniform-rate injector (Figure 8a-style experiments). */
+    static RefreshFaultModel uniformRate(double p, std::uint64_t seed);
+
+    /**
+     * Injector with explicit per-group rates
+     * [HstMsb, HstLsb, LstMsb, LstLsb].
+     */
+    static RefreshFaultModel
+    withRates(const std::array<double, kNumRefreshGroups> &rates,
+              std::uint64_t seed);
+
+    void corrupt(std::span<std::uint16_t> words,
+                 const kv::FaultContext &ctx) override;
+
+    /** Total number of bits flipped so far (observability for tests). */
+    std::uint64_t flipsInjected() const { return flips_; }
+    /** Total number of bits exposed to injection so far. */
+    std::uint64_t bitsProcessed() const { return bits_; }
+
+    double rateOf(RefreshGroup g) const
+    {
+        return rates_[static_cast<std::size_t>(g)];
+    }
+
+  private:
+    RefreshFaultModel(const std::array<double, kNumRefreshGroups> &rates,
+                      std::uint64_t seed, int tag);
+
+    /**
+     * Flip bits of one byte-lane (high or low byte of every word) with
+     * probability p per bit, via geometric skipping.
+     */
+    void corruptLane(std::span<std::uint16_t> words, bool high_byte,
+                     double p);
+
+    std::array<double, kNumRefreshGroups> rates_ = {};
+    Rng rng_;
+    std::uint64_t flips_ = 0;
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace edram
+} // namespace kelle
+
+#endif // KELLE_EDRAM_FAULT_MODEL_HPP

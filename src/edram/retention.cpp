@@ -1,0 +1,111 @@
+#include "edram/retention.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace edram {
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+normalQuantile(double p)
+{
+    KELLE_ASSERT(p > 0.0 && p < 1.0, "quantile domain error: ", p);
+
+    // Acklam's rational approximation (relative error < 1.15e-9),
+    // refined with one Halley step against the exact CDF.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    double x;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - plow) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step.
+    const double e = normalCdf(x) - p;
+    const double u =
+        e * std::sqrt(2.0 * 3.14159265358979323846) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+RetentionModel::RetentionModel(double mu, double sigma)
+    : mu_(mu), sigma_(sigma)
+{
+    KELLE_ASSERT(sigma > 0.0, "retention sigma must be positive");
+}
+
+RetentionModel
+RetentionModel::calibrate(Time t1, double p1, Time t2, double p2)
+{
+    KELLE_ASSERT(t1.sec() > 0 && t2.sec() > t1.sec() && p2 > p1,
+                 "calibration points must be ordered");
+    const double z1 = normalQuantile(p1);
+    const double z2 = normalQuantile(p2);
+    const double lt1 = std::log(t1.sec());
+    const double lt2 = std::log(t2.sec());
+    const double sigma = (lt2 - lt1) / (z2 - z1);
+    const double mu = lt1 - sigma * z1;
+    return RetentionModel(mu, sigma);
+}
+
+RetentionModel
+RetentionModel::paper65nm()
+{
+    return calibrate(Time::micros(45), 1e-6, Time::micros(1778), 1e-3);
+}
+
+double
+RetentionModel::failureProbability(Time interval) const
+{
+    if (interval.sec() <= 0.0)
+        return 0.0;
+    return normalCdf((std::log(interval.sec()) - mu_) / sigma_);
+}
+
+Time
+RetentionModel::intervalForFailureRate(double p) const
+{
+    return Time::seconds(std::exp(mu_ + sigma_ * normalQuantile(p)));
+}
+
+Time
+RetentionModel::sampleRetention(Rng &rng) const
+{
+    return Time::seconds(std::exp(mu_ + sigma_ * rng.gaussian()));
+}
+
+} // namespace edram
+} // namespace kelle

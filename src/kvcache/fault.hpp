@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fault-injection interface between the KV cache and the eDRAM model.
+ *
+ * The KV cache stores fp16 bit patterns. When entries are read back, a
+ * FaultInjector may flip bits to model eDRAM retention failures under a
+ * given refresh policy (Section 4.2). The injector lives behind this
+ * interface so kvcache does not depend on the edram library; the edram
+ * library provides the concrete RefreshFaultModel.
+ */
+
+#ifndef KELLE_KVCACHE_FAULT_HPP
+#define KELLE_KVCACHE_FAULT_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace kelle {
+namespace kv {
+
+/**
+ * Refresh group of a stored word, the "two dimensions" of 2DRP:
+ * token-importance group (HST vs LST) crossed with bit significance
+ * (handled inside the injector via the MSB/LSB byte split).
+ */
+struct FaultContext
+{
+    /** Token belongs to the high-score (HST) group in its head. */
+    bool highScoreToken = false;
+};
+
+/** Interface for corrupting a scratch copy of stored 16-bit words. */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+
+    /**
+     * Flip bits of `words` in place (a scratch copy of the stored
+     * values; transient read corruption) according to the refresh
+     * group in `ctx`. Bits 15..8 of each word are the MSB region and
+     * bits 7..0 the LSB region of the 2DRP layout (Figure 7c).
+     */
+    virtual void corrupt(std::span<std::uint16_t> words,
+                         const FaultContext &ctx) = 0;
+};
+
+/** No-op injector used when the memory is assumed fault free. */
+class NoFaults final : public FaultInjector
+{
+  public:
+    void
+    corrupt(std::span<std::uint16_t>, const FaultContext &) override
+    {}
+};
+
+} // namespace kv
+} // namespace kelle
+
+#endif // KELLE_KVCACHE_FAULT_HPP

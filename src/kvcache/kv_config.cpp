@@ -1,0 +1,122 @@
+#include "kvcache/kv_config.hpp"
+
+#include <sstream>
+
+namespace kelle {
+namespace kv {
+
+std::string
+toString(Policy p)
+{
+    switch (p) {
+      case Policy::Full:
+        return "Full";
+      case Policy::Streaming:
+        return "StreamingLLM";
+      case Policy::H2O:
+        return "H2O";
+      case Policy::Aerp:
+        return "AERP";
+    }
+    return "?";
+}
+
+std::string
+toString(KvPrecision p)
+{
+    switch (p) {
+      case KvPrecision::Fp16:
+        return "fp16";
+      case KvPrecision::Int8:
+        return "int8";
+      case KvPrecision::Int4:
+        return "int4";
+      case KvPrecision::QuaRot4:
+        return "quarot4";
+    }
+    return "?";
+}
+
+std::string
+KvCacheConfig::validate() const
+{
+    std::ostringstream err;
+    if (policy != Policy::Full) {
+        if (budget == 0) {
+            err << "bounded policy needs a nonzero budget";
+        } else if (budget <= sinkTokens + recentWindow) {
+            err << "budget " << budget
+                << " must exceed sink (" << sinkTokens
+                << ") + recent window (" << recentWindow << ")";
+        }
+    }
+    if (popularityTheta < 0.0 || popularityTheta > 1.0)
+        err << "; popularityTheta must be in [0,1]";
+    if (hstFraction < 0.0 || hstFraction > 1.0)
+        err << "; hstFraction must be in [0,1]";
+    if (quantGroup == 0)
+        err << "; quantGroup must be positive";
+    return err.str();
+}
+
+KvCacheConfig
+makeFullConfig()
+{
+    KvCacheConfig cfg;
+    cfg.policy = Policy::Full;
+    cfg.budget = 0;
+    cfg.recompute = false;
+    return cfg;
+}
+
+KvCacheConfig
+makeStreamingConfig(std::size_t budget, std::size_t sink,
+                    std::size_t recent_window)
+{
+    KvCacheConfig cfg;
+    cfg.policy = Policy::Streaming;
+    cfg.budget = budget;
+    cfg.sinkTokens = sink;
+    cfg.recentWindow = recent_window;
+    cfg.recompute = false;
+    return cfg;
+}
+
+KvCacheConfig
+makeH2OConfig(std::size_t budget, std::size_t recent_window)
+{
+    KvCacheConfig cfg;
+    cfg.policy = Policy::H2O;
+    cfg.budget = budget;
+    cfg.sinkTokens = 0;
+    cfg.recentWindow = recent_window;
+    cfg.recompute = false;
+    return cfg;
+}
+
+KvCacheConfig
+makeAerpConfig(std::size_t budget, std::size_t sink,
+               std::size_t recent_window)
+{
+    KvCacheConfig cfg;
+    cfg.policy = Policy::Aerp;
+    cfg.budget = budget;
+    cfg.sinkTokens = sink;
+    cfg.recentWindow = recent_window;
+    cfg.recompute = true;
+    return cfg;
+}
+
+KvCacheConfig
+makeQuaRotConfig()
+{
+    KvCacheConfig cfg;
+    cfg.policy = Policy::Full;
+    cfg.budget = 0;
+    cfg.recompute = false;
+    cfg.precision = KvPrecision::QuaRot4;
+    return cfg;
+}
+
+} // namespace kv
+} // namespace kelle

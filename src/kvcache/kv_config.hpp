@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Configuration of the managed KV cache: policy selection (AERP, H2O,
+ * StreamingLLM, full), token budget, protected regions, storage
+ * precision and recomputation parameters, mirroring Section 7.1.
+ */
+
+#ifndef KELLE_KVCACHE_KV_CONFIG_HPP
+#define KELLE_KVCACHE_KV_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace kelle {
+namespace kv {
+
+/** Which eviction policy manages the cache. */
+enum class Policy
+{
+    Full,      ///< no eviction; cache grows with the sequence
+    Streaming, ///< StreamingLLM: keep sink tokens + recent window only
+    H2O,       ///< heavy hitters (accumulated attention) + recent window
+    Aerp,      ///< Kelle AERP: scores + sink + recent + recomputation
+};
+
+/** Storage precision of the cached KV values. */
+enum class KvPrecision
+{
+    Fp16,    ///< 16-bit IEEE half (Kelle / H2O / StreamingLLM default)
+    Int8,    ///< 8-bit group quantization
+    Int4,    ///< 4-bit group quantization (KIVI-style)
+    QuaRot4, ///< Hadamard-rotated 4-bit (QuaRot baseline)
+};
+
+/** Bits per stored value for capacity/energy accounting. */
+constexpr int
+precisionBits(KvPrecision p)
+{
+    switch (p) {
+      case KvPrecision::Fp16:
+        return 16;
+      case KvPrecision::Int8:
+        return 8;
+      case KvPrecision::Int4:
+      case KvPrecision::QuaRot4:
+        return 4;
+    }
+    return 16;
+}
+
+std::string toString(Policy p);
+std::string toString(KvPrecision p);
+
+struct KvCacheConfig
+{
+    Policy policy = Policy::Aerp;
+
+    /** Token budget N' per head (0 = unlimited, only valid for Full). */
+    std::size_t budget = 128;
+
+    /** Always-retained initial tokens ("sink" tokens, Section 4.1.1). */
+    std::size_t sinkTokens = 10;
+
+    /** Protected most-recent window (per-task sizes in Section 7.1). */
+    std::size_t recentWindow = 64;
+
+    /** Stored KV precision. */
+    KvPrecision precision = KvPrecision::Fp16;
+
+    /** Quantization group size for Int8/Int4/QuaRot4. */
+    std::size_t quantGroup = 32;
+
+    /**
+     * Enable the recomputation half of AERP: tokens popular in at least
+     * `popularityTheta` of the KV heads store the layer input vector x
+     * instead of per-head KV pairs and are recomputed on access
+     * (Section 4.1.2).
+     */
+    bool recompute = true;
+
+    /** Popularity threshold theta (paper: 0.5). */
+    double popularityTheta = 0.5;
+
+    /**
+     * Use raw pre-softmax QK logits for the importance score instead of
+     * softmax probabilities. The hardware systolic evictor accumulates
+     * raw logits (Section 5.3); the algorithm description uses softmax
+     * scores. Default matches the algorithm.
+     */
+    bool useRawLogits = false;
+
+    /** Fraction of tokens per head placed in the HST refresh group. */
+    double hstFraction = 0.5;
+
+    /** Validate invariants; returns an error message or empty string. */
+    std::string validate() const;
+};
+
+/** Presets mirroring the baselines of Section 7.1. */
+KvCacheConfig makeFullConfig();
+KvCacheConfig makeStreamingConfig(std::size_t budget, std::size_t sink,
+                                  std::size_t recent_window);
+KvCacheConfig makeH2OConfig(std::size_t budget, std::size_t recent_window);
+KvCacheConfig makeAerpConfig(std::size_t budget, std::size_t sink,
+                             std::size_t recent_window);
+/** QuaRot baseline: full retention, 4-bit rotated KV quantization. */
+KvCacheConfig makeQuaRotConfig();
+
+} // namespace kv
+} // namespace kelle
+
+#endif // KELLE_KVCACHE_KV_CONFIG_HPP

@@ -1,0 +1,71 @@
+#include "memory/memory_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace mem {
+
+MemoryModel::MemoryModel(std::string name, Bytes capacity, Bandwidth bw,
+                         Time access_latency, EnergyPerByte access_energy,
+                         Power leakage, Area area)
+    : name_(std::move(name)), capacity_(capacity), bandwidth_(bw),
+      accessLatency_(access_latency), accessEnergy_(access_energy),
+      leakage_(leakage), area_(area)
+{
+    KELLE_ASSERT(capacity.b() > 0 && bw.value > 0,
+                 "memory model needs positive capacity and bandwidth");
+}
+
+namespace {
+
+/** Scale a 4 MB anchor to `capacity`. */
+MemoryModel
+scaledOnChip(const std::string &name, Bytes capacity, Bandwidth bw,
+             Time latency4, double pj_per_byte4, double leak_mw4,
+             double area_mm2_4)
+{
+    const double ratio = capacity.inMib() / 4.0;
+    const double energy_scale = std::sqrt(ratio);
+    // Latency grows weakly with capacity; use sqrt scaling as well.
+    return MemoryModel(
+        name, capacity, bw, latency4 * std::sqrt(std::max(ratio, 0.05)),
+        EnergyPerByte::picojoules(pj_per_byte4 * energy_scale),
+        Power::milliwatts(leak_mw4 * ratio), Area::mm2(area_mm2_4 * ratio));
+}
+
+} // namespace
+
+MemoryModel
+sram(Bytes capacity, Bandwidth bw)
+{
+    // Table 1: 4 MB SRAM @65 nm: 7.3 mm^2, 2.6 ns, 185.9 pJ/B, 415 mW.
+    return scaledOnChip("sram", capacity, bw, Time::nanos(2.6), 185.9,
+                        415.0, 7.3);
+}
+
+MemoryModel
+edram(Bytes capacity, Bandwidth bw)
+{
+    // Table 1: 4 MB eDRAM @65 nm: 3.2 mm^2, 1.9 ns, 84.8 pJ/B, 154 mW.
+    return scaledOnChip("edram", capacity, bw, Time::nanos(1.9), 84.8,
+                        154.0, 3.2);
+}
+
+MemoryModel
+lpddr4()
+{
+    // Section 8: 16 GB LPDDR4, 64 GB/s, CACTI-7 characterization; the
+    // paper reports 16 mm^2 and 11.74 W at full streaming utilization.
+    // 120 pJ/B device+interface energy is the CACTI-7-class figure for
+    // LPDDR4 at this rate and, together with background power, lands at
+    // the paper's DRAM power at full bandwidth.
+    return MemoryModel("lpddr4", Bytes::gib(16),
+                       Bandwidth::gibPerSec(64), Time::nanos(100),
+                       EnergyPerByte::picojoules(120.0),
+                       Power::watts(0.55), Area::mm2(16.0));
+}
+
+} // namespace mem
+} // namespace kelle

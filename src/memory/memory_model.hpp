@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Analytic latency/energy/area models for the non-eDRAM memories of the
+ * Kelle system: on-chip SRAM (weight buffer, or KV storage in the
+ * SRAM-based baselines) and off-chip LPDDR4 DRAM.
+ *
+ * Constants follow Table 1 (65 nm SRAM characterized with Destiny) and
+ * Section 8 (16 GB LPDDR4 at 64 GB/s simulated with CACTI-7, as in the
+ * Google Coral-class edge platform). Capacity scaling: area and leakage
+ * scale linearly with capacity; per-byte access energy scales with
+ * sqrt(capacity) (bitline/wordline growth), anchored at the 4 MB point.
+ */
+
+#ifndef KELLE_MEMORY_MEMORY_MODEL_HPP
+#define KELLE_MEMORY_MEMORY_MODEL_HPP
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace kelle {
+namespace mem {
+
+/** A bandwidth/latency/energy point model of one memory. */
+class MemoryModel
+{
+  public:
+    MemoryModel() = default;
+    MemoryModel(std::string name, Bytes capacity, Bandwidth bw,
+                Time access_latency, EnergyPerByte access_energy,
+                Power leakage, Area area);
+
+    const std::string &name() const { return name_; }
+    Bytes capacity() const { return capacity_; }
+    Bandwidth bandwidth() const { return bandwidth_; }
+    Time accessLatency() const { return accessLatency_; }
+    EnergyPerByte accessEnergy() const { return accessEnergy_; }
+    Power leakage() const { return leakage_; }
+    Area area() const { return area_; }
+
+    /** Streaming transfer time for a volume (bandwidth-bound). */
+    Time transferTime(Bytes bytes) const { return bytes / bandwidth_; }
+    /** Access energy for a volume. */
+    Energy
+    transferEnergy(Bytes bytes) const
+    {
+        return accessEnergy_ * bytes;
+    }
+
+  private:
+    std::string name_;
+    Bytes capacity_;
+    Bandwidth bandwidth_;
+    Time accessLatency_;
+    EnergyPerByte accessEnergy_;
+    Power leakage_;
+    Area area_;
+};
+
+/**
+ * On-chip SRAM scaled from the Table 1 4 MB anchor
+ * (7.3 mm^2, 2.6 ns, 185.9 pJ/B, 415 mW) to the given capacity.
+ */
+MemoryModel sram(Bytes capacity, Bandwidth bw);
+
+/**
+ * On-chip eDRAM scaled from the Table 1 4 MB anchor
+ * (3.2 mm^2, 1.9 ns, 84.8 pJ/B, 154 mW). The refresh machinery lives
+ * in src/edram; this point model covers bandwidth/energy/area for the
+ * analytic timing model.
+ */
+MemoryModel edram(Bytes capacity, Bandwidth bw);
+
+/** 16 GB LPDDR4 at 64 GB/s (Section 8). */
+MemoryModel lpddr4();
+
+/** Cumulative traffic accounting against one memory. */
+class TrafficMeter
+{
+  public:
+    explicit TrafficMeter(const MemoryModel &model) : model_(&model) {}
+
+    void
+    read(Bytes bytes)
+    {
+        readBytes_ += bytes;
+    }
+    void
+    write(Bytes bytes)
+    {
+        writeBytes_ += bytes;
+    }
+
+    Bytes readBytes() const { return readBytes_; }
+    Bytes writeBytes() const { return writeBytes_; }
+    Bytes total() const { return readBytes_ + writeBytes_; }
+    Energy energy() const { return model_->transferEnergy(total()); }
+    Time busTime() const { return model_->transferTime(total()); }
+
+  private:
+    const MemoryModel *model_;
+    Bytes readBytes_{0};
+    Bytes writeBytes_{0};
+};
+
+} // namespace mem
+} // namespace kelle
+
+#endif // KELLE_MEMORY_MEMORY_MODEL_HPP

@@ -1,0 +1,123 @@
+#include "model/evaluate.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "model/sampler.hpp"
+
+namespace kelle {
+namespace model {
+
+double
+StreamEval::meanCrossEntropy() const
+{
+    if (crossEntropy.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double ce : crossEntropy)
+        acc += ce;
+    return acc / static_cast<double>(crossEntropy.size());
+}
+
+double
+StreamEval::perplexity() const
+{
+    return std::exp(meanCrossEntropy());
+}
+
+StreamEval
+runStream(TinyTransformer &model, kv::ManagedKvCache &cache,
+          std::span<const int> tokens, std::size_t prompt_len)
+{
+    KELLE_ASSERT(prompt_len >= 1 && prompt_len < tokens.size(),
+                 "stream needs a prompt and at least one scored token");
+    (void)cache; // already attached; kept in the signature for clarity
+
+    StreamEval eval;
+    const std::size_t n = tokens.size();
+    eval.crossEntropy.reserve(n - prompt_len);
+    eval.argmax.reserve(n - prompt_len);
+
+    auto score = [&](std::span<const float> logits, int target) {
+        eval.crossEntropy.push_back(
+            -tensor::logSoftmaxAt(logits,
+                                  static_cast<std::size_t>(target)));
+        eval.argmax.push_back(argmaxToken(logits));
+    };
+
+    auto logits =
+        model.prefill(std::span<const int>(tokens.data(), prompt_len));
+    score(logits, tokens[prompt_len]);
+    for (std::size_t t = prompt_len; t + 1 < n; ++t) {
+        logits = model.decodeStep(tokens[t],
+                                  static_cast<std::int64_t>(t));
+        score(logits, tokens[t + 1]);
+    }
+    return eval;
+}
+
+double
+agreement(const StreamEval &a, const StreamEval &b)
+{
+    KELLE_ASSERT(a.argmax.size() == b.argmax.size(),
+                 "agreement over different-length evals");
+    if (a.argmax.empty())
+        return 1.0;
+    std::size_t match = 0;
+    for (std::size_t i = 0; i < a.argmax.size(); ++i)
+        match += a.argmax[i] == b.argmax[i];
+    return static_cast<double>(match) /
+           static_cast<double>(a.argmax.size());
+}
+
+SyntheticStream
+generateStream(TinyTransformer &model, std::size_t prompt_len,
+               std::size_t gen_len, double temperature, std::uint64_t seed)
+{
+    Rng rng(seed);
+    SyntheticStream stream;
+    stream.promptLen = prompt_len;
+    stream.tokens =
+        randomTokens(prompt_len, model.config().vocab, rng);
+
+    kv::ManagedKvCache cache(kv::makeFullConfig(), model.config().layers,
+                             model.config().nKvHeads,
+                             model.config().headDim(),
+                             model.config().dModel);
+    model.attach(cache);
+    auto logits = model.prefill(stream.tokens);
+    for (std::size_t i = 0; i < gen_len; ++i) {
+        const int next = sampleToken(logits, temperature, 40, rng);
+        const auto pos = static_cast<std::int64_t>(stream.tokens.size());
+        stream.tokens.push_back(next);
+        if (i + 1 < gen_len)
+            logits = model.decodeStep(next, pos);
+    }
+    return stream;
+}
+
+PolicyEval
+evaluatePolicy(TinyTransformer &model, const kv::KvCacheConfig &cfg,
+               kv::FaultInjector *injector, const SyntheticStream &stream,
+               const StreamEval &baseline)
+{
+    kv::ManagedKvCache cache(cfg, model.config().layers,
+                             model.config().nKvHeads,
+                             model.config().headDim(),
+                             model.config().dModel);
+    if (injector)
+        cache.setFaultInjector(injector);
+    model.attach(cache);
+
+    const auto eval =
+        runStream(model, cache, stream.tokens, stream.promptLen);
+
+    PolicyEval out;
+    out.perplexity = eval.perplexity();
+    out.agreementTop1 = agreement(eval, baseline);
+    out.residentKvBytes = cache.residentKvBytes();
+    return out;
+}
+
+} // namespace model
+} // namespace kelle

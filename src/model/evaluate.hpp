@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Accuracy evaluation harness for KV-cache management policies.
+ *
+ * The paper's Tables 2-6 measure the degradation a policy introduces
+ * relative to a full-KV FP16 run of the same model. Without access to
+ * trained checkpoints, this harness measures exactly that degradation
+ * on the functional substrate:
+ *
+ *  - a reference token stream is generated from the model with a full
+ *    cache (the model is its own language),
+ *  - "perplexity" is exp(mean cross-entropy) teacher-forced on that
+ *    stream (the full-cache run gives the floor; policies can only be
+ *    at or above it),
+ *  - "agreement" is the fraction of positions where the policy's
+ *    greedy prediction matches the full-cache baseline's prediction,
+ *    the analogue of the accuracy columns.
+ */
+
+#ifndef KELLE_MODEL_EVALUATE_HPP
+#define KELLE_MODEL_EVALUATE_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kvcache/managed_kv_cache.hpp"
+#include "model/transformer.hpp"
+
+namespace kelle {
+namespace model {
+
+/** Per-position results of a teacher-forced pass. */
+struct StreamEval
+{
+    std::vector<double> crossEntropy; ///< -log p(next token)
+    std::vector<int> argmax;          ///< greedy prediction per position
+
+    double meanCrossEntropy() const;
+    double perplexity() const;
+};
+
+/**
+ * Teacher-forced pass over `tokens`: prefill the first `prompt_len`
+ * tokens, then decode the remainder, scoring each next-token
+ * prediction. The cache must already be attached to the model.
+ */
+StreamEval runStream(TinyTransformer &model, kv::ManagedKvCache &cache,
+                     std::span<const int> tokens, std::size_t prompt_len);
+
+/** Fraction of positions where the two runs' greedy predictions agree. */
+double agreement(const StreamEval &a, const StreamEval &b);
+
+/** Workload synthesized from the model itself (see file comment). */
+struct SyntheticStream
+{
+    std::vector<int> tokens;
+    std::size_t promptLen = 0;
+};
+
+/**
+ * Generate a reference stream: a random prompt of `prompt_len` tokens
+ * followed by `gen_len` tokens sampled from the model running with a
+ * full KV cache at the given temperature.
+ */
+SyntheticStream generateStream(TinyTransformer &model,
+                               std::size_t prompt_len, std::size_t gen_len,
+                               double temperature, std::uint64_t seed);
+
+/** Convenience bundle: PPL + agreement of a policy vs the baseline. */
+struct PolicyEval
+{
+    double perplexity = 0.0;
+    double agreementTop1 = 0.0;
+    double residentKvBytes = 0.0;
+};
+
+/**
+ * Evaluate one cache configuration against a precomputed baseline
+ * StreamEval on the same stream. A fresh pass is run with `cfg`;
+ * `injector` may be null.
+ */
+PolicyEval evaluatePolicy(TinyTransformer &model,
+                          const kv::KvCacheConfig &cfg,
+                          kv::FaultInjector *injector,
+                          const SyntheticStream &stream,
+                          const StreamEval &baseline);
+
+} // namespace model
+} // namespace kelle
+
+#endif // KELLE_MODEL_EVALUATE_HPP

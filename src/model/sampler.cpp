@@ -1,0 +1,69 @@
+#include "model/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace model {
+
+int
+argmaxToken(std::span<const float> logits)
+{
+    KELLE_ASSERT(!logits.empty(), "argmax of empty logits");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[best])
+            best = i;
+    return static_cast<int>(best);
+}
+
+int
+sampleToken(std::span<const float> logits, double temperature,
+            std::size_t top_k, Rng &rng)
+{
+    KELLE_ASSERT(!logits.empty(), "sample from empty logits");
+    if (temperature <= 0.0)
+        return argmaxToken(logits);
+
+    std::vector<std::size_t> order(logits.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (top_k > 0 && top_k < logits.size()) {
+        std::partial_sort(order.begin(), order.begin() + top_k,
+                          order.end(), [&](std::size_t a, std::size_t b) {
+                              return logits[a] > logits[b];
+                          });
+        order.resize(top_k);
+    }
+
+    double maxv = logits[order[0]];
+    for (std::size_t i : order)
+        maxv = std::max(maxv, static_cast<double>(logits[i]));
+    std::vector<double> probs(order.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        probs[i] = std::exp((logits[order[i]] - maxv) / temperature);
+        sum += probs[i];
+    }
+    double u = rng.uniform() * sum;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        u -= probs[i];
+        if (u <= 0.0)
+            return static_cast<int>(order[i]);
+    }
+    return static_cast<int>(order.back());
+}
+
+std::vector<int>
+randomTokens(std::size_t n, std::size_t vocab, Rng &rng)
+{
+    std::vector<int> out(n);
+    for (auto &t : out)
+        t = static_cast<int>(rng.below(vocab));
+    return out;
+}
+
+} // namespace model
+} // namespace kelle

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Token sampling utilities for generating synthetic evaluation streams.
+ */
+
+#ifndef KELLE_MODEL_SAMPLER_HPP
+#define KELLE_MODEL_SAMPLER_HPP
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace kelle {
+namespace model {
+
+/** Index of the largest logit (ties resolve to the lowest index). */
+int argmaxToken(std::span<const float> logits);
+
+/**
+ * Sample from softmax(logits / temperature) restricted to the top_k
+ * highest logits (top_k = 0 disables the restriction).
+ */
+int sampleToken(std::span<const float> logits, double temperature,
+                std::size_t top_k, Rng &rng);
+
+/** Uniform random token ids in [0, vocab), used for prompt synthesis. */
+std::vector<int> randomTokens(std::size_t n, std::size_t vocab, Rng &rng);
+
+} // namespace model
+} // namespace kelle
+
+#endif // KELLE_MODEL_SAMPLER_HPP

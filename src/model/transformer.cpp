@@ -1,0 +1,278 @@
+#include "model/transformer.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace kelle {
+namespace model {
+
+using tensor::Matrix;
+
+TinyTransformer::TinyTransformer(const ModelConfig &cfg,
+                                 const InitOptions &init)
+    : cfg_(cfg)
+{
+    const std::string err = cfg.validate();
+    if (!err.empty())
+        KELLE_FATAL("invalid model config: ", err);
+
+    Rng rng(init.seed);
+    const auto d = cfg_.dModel;
+    const auto dkv = cfg_.dKv();
+    const float proj_std = 1.0f / std::sqrt(static_cast<float>(d));
+    const float qk_std = proj_std * init.attentionGain;
+    const float ffn_std = proj_std;
+    const float down_std = 1.0f / std::sqrt(static_cast<float>(cfg_.dFfn));
+
+    embed_ = Matrix(cfg_.vocab, d);
+    embed_.fillGaussian(rng, 1.0f);
+    head_ = Matrix(cfg_.vocab, d);
+    head_.fillGaussian(rng, 1.0f);
+
+    layers_.resize(cfg_.layers);
+    for (auto &lw : layers_) {
+        lw.wq = Matrix(d, d);
+        lw.wq.fillGaussian(rng, qk_std);
+        lw.wk = Matrix(dkv, d);
+        lw.wk.fillGaussian(rng, qk_std);
+        lw.wv = Matrix(dkv, d);
+        lw.wv.fillGaussian(rng, proj_std);
+        lw.wo = Matrix(d, d);
+        lw.wo.fillGaussian(rng, proj_std);
+        lw.w1 = Matrix(cfg_.dFfn, d);
+        lw.w1.fillGaussian(rng, ffn_std);
+        lw.w2 = Matrix(d, cfg_.dFfn);
+        lw.w2.fillGaussian(rng, down_std);
+        if (cfg_.ffn == FfnKind::GatedSilu) {
+            lw.w3 = Matrix(cfg_.dFfn, d);
+            lw.w3.fillGaussian(rng, ffn_std);
+        }
+        lw.norm1.assign(d, 1.0f);
+        lw.norm2.assign(d, 1.0f);
+    }
+    finalNorm_.assign(d, 1.0f);
+    logitScale_ = init.logitGain / std::sqrt(static_cast<float>(d));
+}
+
+void
+TinyTransformer::attach(kv::ManagedKvCache &cache)
+{
+    cache_ = &cache;
+    cache.setRecomputer([this](std::size_t layer, std::span<const float> x,
+                               std::int64_t pos, std::span<float> k_out,
+                               std::span<float> v_out) {
+        const auto &lw = layers_.at(layer);
+        tensor::matvec(lw.wk, x, k_out);
+        tensor::matvec(lw.wv, x, v_out);
+        applyRope(k_out, pos, cfg_.headDim());
+    });
+}
+
+void
+TinyTransformer::applyRope(std::span<float> x, std::int64_t pos,
+                           std::size_t head_dim) const
+{
+    KELLE_ASSERT(x.size() % head_dim == 0, "rope width mismatch");
+    const double p = static_cast<double>(pos);
+    for (std::size_t off = 0; off < x.size(); off += head_dim) {
+        for (std::size_t i = 0; i + 1 < head_dim; i += 2) {
+            const double freq =
+                std::pow(10000.0, -static_cast<double>(i) /
+                                      static_cast<double>(head_dim));
+            const double angle = p * freq;
+            const float c = static_cast<float>(std::cos(angle));
+            const float s = static_cast<float>(std::sin(angle));
+            const float a = x[off + i];
+            const float b = x[off + i + 1];
+            x[off + i] = a * c - b * s;
+            x[off + i + 1] = a * s + b * c;
+        }
+    }
+}
+
+void
+TinyTransformer::runFfn(const LayerWeights &lw, std::span<const float> x,
+                        std::span<float> out) const
+{
+    std::vector<float> a(cfg_.dFfn);
+    tensor::matvec(lw.w1, x, a);
+    if (cfg_.ffn == FfnKind::GatedSilu) {
+        std::vector<float> b(cfg_.dFfn);
+        tensor::matvec(lw.w3, x, b);
+        tensor::siluInPlace(a);
+        for (std::size_t i = 0; i < a.size(); ++i)
+            a[i] *= b[i];
+    } else {
+        tensor::geluInPlace(a);
+    }
+    tensor::matvec(lw.w2, a, out);
+}
+
+std::vector<float>
+TinyTransformer::decodeStep(int token, std::int64_t pos)
+{
+    KELLE_ASSERT(cache_, "decodeStep without an attached KV cache");
+    KELLE_ASSERT(token >= 0 &&
+                     static_cast<std::size_t>(token) < cfg_.vocab,
+                 "token out of vocabulary");
+    const auto d = cfg_.dModel;
+    const auto dkv = cfg_.dKv();
+    const auto hd = cfg_.headDim();
+    const std::size_t group = cfg_.nHeads / cfg_.nKvHeads;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    const bool raw_scores = cache_->config().useRawLogits;
+
+    std::vector<float> h(embed_.row(token).begin(),
+                         embed_.row(token).end());
+
+    std::vector<float> xln(d), q(d), k(dkv), v(dkv), y(d), attn(d), ffn(d);
+    for (std::size_t l = 0; l < cfg_.layers; ++l) {
+        const auto &lw = layers_[l];
+        xln.assign(h.begin(), h.end());
+        tensor::rmsNormInPlace(xln, lw.norm1);
+
+        tensor::matvec(lw.wq, xln, q);
+        tensor::matvec(lw.wk, xln, k);
+        tensor::matvec(lw.wv, xln, v);
+        applyRope(q, pos, hd);
+        applyRope(k, pos, hd);
+
+        cache_->append(l, pos, k, v, xln);
+
+        std::fill(y.begin(), y.end(), 0.0f);
+        for (std::size_t kvh = 0; kvh < cfg_.nKvHeads; ++kvh) {
+            auto gathered = cache_->gather(l, kvh);
+            const std::size_t n = gathered.k.rows();
+            std::vector<float> scores(n), probs(n);
+            for (std::size_t g = 0; g < group; ++g) {
+                const std::size_t head = kvh * group + g;
+                std::span<const float> qh(q.data() + head * hd, hd);
+                for (std::size_t i = 0; i < n; ++i)
+                    scores[i] = tensor::dot(gathered.k.row(i), qh) * scale;
+                probs = scores;
+                tensor::softmaxInPlace(probs);
+                cache_->observeAttention(
+                    l, kvh, raw_scores ? scores : probs, gathered.slots);
+                float *yh = y.data() + head * hd;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const float p = probs[i];
+                    auto vrow = gathered.v.row(i);
+                    for (std::size_t dd = 0; dd < hd; ++dd)
+                        yh[dd] += p * vrow[dd];
+                }
+            }
+        }
+        tensor::matvec(lw.wo, y, attn);
+        tensor::addInPlace(h, attn);
+
+        xln.assign(h.begin(), h.end());
+        tensor::rmsNormInPlace(xln, lw.norm2);
+        runFfn(lw, xln, ffn);
+        tensor::addInPlace(h, ffn);
+    }
+
+    tensor::rmsNormInPlace(h, finalNorm_);
+    std::vector<float> logits(cfg_.vocab);
+    tensor::matvec(head_, h, logits);
+    for (auto &v : logits)
+        v *= logitScale_;
+    return logits;
+}
+
+std::vector<float>
+TinyTransformer::prefill(std::span<const int> tokens)
+{
+    KELLE_ASSERT(cache_, "prefill without an attached KV cache");
+    KELLE_ASSERT(!tokens.empty(), "empty prefill context");
+    const auto d = cfg_.dModel;
+    const auto dkv = cfg_.dKv();
+    const auto hd = cfg_.headDim();
+    const std::size_t n = tokens.size();
+    const std::size_t group = cfg_.nHeads / cfg_.nKvHeads;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    const bool raw_scores = cache_->config().useRawLogits;
+
+    Matrix h(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+        KELLE_ASSERT(tokens[i] >= 0 &&
+                         static_cast<std::size_t>(tokens[i]) < cfg_.vocab,
+                     "token out of vocabulary");
+        auto src = embed_.row(tokens[i]);
+        std::copy(src.begin(), src.end(), h.row(i).begin());
+    }
+
+    for (std::size_t l = 0; l < cfg_.layers; ++l) {
+        const auto &lw = layers_[l];
+
+        Matrix xln(n, d), qm(n, d), km(n, dkv), vm(n, dkv);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto row = xln.row(i);
+            std::copy(h.row(i).begin(), h.row(i).end(), row.begin());
+            tensor::rmsNormInPlace(row, lw.norm1);
+            tensor::matvec(lw.wq, row, qm.row(i));
+            tensor::matvec(lw.wk, row, km.row(i));
+            tensor::matvec(lw.wv, row, vm.row(i));
+            applyRope(qm.row(i), static_cast<std::int64_t>(i), hd);
+            applyRope(km.row(i), static_cast<std::int64_t>(i), hd);
+        }
+
+        // Causal attention with importance accumulation: the importance
+        // of token j in kv-head kvh is the attention it receives from
+        // every later query across the head group (Section 4.1.1).
+        std::vector<std::vector<float>> importance(
+            cfg_.nKvHeads, std::vector<float>(n, 0.0f));
+        Matrix y(n, d);
+        std::vector<float> scores, probs;
+        for (std::size_t i = 0; i < n; ++i) {
+            scores.resize(i + 1);
+            probs.resize(i + 1);
+            for (std::size_t head = 0; head < cfg_.nHeads; ++head) {
+                const std::size_t kvh = head / group;
+                std::span<const float> qh(qm.row(i).data() + head * hd,
+                                          hd);
+                for (std::size_t j = 0; j <= i; ++j) {
+                    std::span<const float> kh(
+                        km.row(j).data() + kvh * hd, hd);
+                    scores[j] = tensor::dot(kh, qh) * scale;
+                }
+                probs = scores;
+                tensor::softmaxInPlace(probs);
+                const auto &acc = raw_scores ? scores : probs;
+                for (std::size_t j = 0; j <= i; ++j)
+                    importance[kvh][j] += acc[j];
+                float *yh = y.row(i).data() + head * hd;
+                for (std::size_t j = 0; j <= i; ++j) {
+                    const float p = probs[j];
+                    const float *vrow = vm.row(j).data() + kvh * hd;
+                    for (std::size_t dd = 0; dd < hd; ++dd)
+                        yh[dd] += p * vrow[dd];
+                }
+            }
+        }
+
+        cache_->loadPrefill(l, km, vm, xln, importance);
+
+        std::vector<float> attn(d), ffn(d), x2(d);
+        for (std::size_t i = 0; i < n; ++i) {
+            tensor::matvec(lw.wo, y.row(i), attn);
+            tensor::addInPlace(h.row(i), attn);
+            x2.assign(h.row(i).begin(), h.row(i).end());
+            tensor::rmsNormInPlace(x2, lw.norm2);
+            runFfn(lw, x2, ffn);
+            tensor::addInPlace(h.row(i), ffn);
+        }
+    }
+
+    std::vector<float> last(h.row(n - 1).begin(), h.row(n - 1).end());
+    tensor::rmsNormInPlace(last, finalNorm_);
+    std::vector<float> logits(cfg_.vocab);
+    tensor::matvec(head_, last, logits);
+    for (auto &v : logits)
+        v *= logitScale_;
+    return logits;
+}
+
+} // namespace model
+} // namespace kelle

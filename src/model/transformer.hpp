@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Executable transformer decoder substrate for the Kelle accuracy
+ * experiments.
+ *
+ * This is a faithful functional implementation of the decoder stack of
+ * Section 2.1 — RMSNorm, rotary-embedded multi-(or grouped-)query
+ * attention with a pluggable managed KV cache, and a gated-SiLU or
+ * classic MLP feed-forward — with deterministic seeded weights. All KV
+ * traffic flows through kv::ManagedKvCache so that eviction,
+ * recomputation, quantization and eDRAM bit-flip faults perturb the
+ * computation exactly where they would on the Kelle accelerator.
+ */
+
+#ifndef KELLE_MODEL_TRANSFORMER_HPP
+#define KELLE_MODEL_TRANSFORMER_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kvcache/managed_kv_cache.hpp"
+#include "model/model_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace kelle {
+namespace model {
+
+/** Options controlling weight synthesis of the functional model. */
+struct InitOptions
+{
+    std::uint64_t seed = 1234;
+    /**
+     * Extra gain on the Q/K projections. Raising it sharpens the
+     * attention distribution, creating heavy-hitter structure similar
+     * to trained models (important for eviction-policy studies).
+     */
+    float attentionGain = 1.5f;
+
+    /**
+     * Output logits are scaled by logitGain / sqrt(dModel), which sets
+     * the entropy of the synthetic language: ~2 gives a sharply-but-
+     * not-degenerately peaked next-token distribution. The output head
+     * is untied from the embedding — tying would make the residual
+     * stream self-predict the current token and collapse generation
+     * into repetition.
+     */
+    float logitGain = 2.0f;
+};
+
+/** A functional transformer decoder with managed-KV-cache attention. */
+class TinyTransformer
+{
+  public:
+    TinyTransformer(const ModelConfig &cfg, const InitOptions &init = {});
+
+    /**
+     * Attach the KV cache used by attention (non-owning). Also installs
+     * this model's recompute callback on the cache so AERP x-stored
+     * tokens can be re-projected through W_K / W_V (Section 4.1.2).
+     * The cache must be shaped (layers, nKvHeads, headDim, dModel).
+     */
+    void attach(kv::ManagedKvCache &cache);
+
+    /**
+     * Process a full context in parallel (pre-filling stage). Computes
+     * per-token importance scores as attention column sums and bulk
+     * loads the cache per layer. Returns the logits after the last
+     * context token.
+     */
+    std::vector<float> prefill(std::span<const int> tokens);
+
+    /**
+     * Decode one token at absolute position `pos` (continuing the
+     * prefill positions). Returns next-token logits.
+     */
+    std::vector<float> decodeStep(int token, std::int64_t pos);
+
+    const ModelConfig &config() const { return cfg_; }
+
+    /** Apply rotary position embedding to a dKv- or dModel-wide vector
+     *  organized as consecutive heads of headDim (exposed for tests). */
+    void applyRope(std::span<float> x, std::int64_t pos,
+                   std::size_t head_dim) const;
+
+  private:
+    struct LayerWeights
+    {
+        tensor::Matrix wq; ///< [d x d]
+        tensor::Matrix wk; ///< [dKv x d]
+        tensor::Matrix wv; ///< [dKv x d]
+        tensor::Matrix wo; ///< [d x d]
+        tensor::Matrix w1; ///< gate/up: [dFfn x d]
+        tensor::Matrix w2; ///< down:    [d x dFfn]
+        tensor::Matrix w3; ///< up (gated only): [dFfn x d]
+        std::vector<float> norm1;
+        std::vector<float> norm2;
+    };
+
+    /** Shared FFN block on a single row. */
+    void runFfn(const LayerWeights &lw, std::span<const float> x,
+                std::span<float> out) const;
+
+    ModelConfig cfg_;
+    tensor::Matrix embed_; ///< [vocab x d]
+    tensor::Matrix head_;  ///< [vocab x d] untied output head
+    std::vector<LayerWeights> layers_;
+    std::vector<float> finalNorm_;
+    float logitScale_ = 1.0f;
+    kv::ManagedKvCache *cache_ = nullptr;
+};
+
+} // namespace model
+} // namespace kelle
+
+#endif // KELLE_MODEL_TRANSFORMER_HPP

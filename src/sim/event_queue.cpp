@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace sim {
+
+void
+EventQueue::schedule(Time when, Callback cb, int priority)
+{
+    KELLE_ASSERT(when >= now_, "scheduling into the past: ", when.sec(),
+                 " < ", now_.sec());
+    queue_.push(Event{when, priority, seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Time delta, Callback cb, int priority)
+{
+    schedule(now_ + delta, std::move(cb), priority);
+}
+
+bool
+EventQueue::runNext()
+{
+    if (queue_.empty())
+        return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && runNext())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Time t)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().when <= t) {
+        runNext();
+        ++n;
+    }
+    if (t > now_)
+        now_ = t;
+    return n;
+}
+
+} // namespace sim
+} // namespace kelle

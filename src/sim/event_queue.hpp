@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A small discrete-event simulation core used by the bank-level eDRAM
+ * tests and the refresh-hiding studies. Events execute in (time,
+ * priority, insertion-order) order; callbacks may schedule further
+ * events.
+ */
+
+#ifndef KELLE_SIM_EVENT_QUEUE_HPP
+#define KELLE_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kelle {
+namespace sim {
+
+/** Priority-queue driven event scheduler. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at an absolute time (>= now). */
+    void schedule(Time when, Callback cb, int priority = 0);
+    /** Schedule relative to the current time. */
+    void scheduleAfter(Time delta, Callback cb, int priority = 0);
+
+    /** Execute the earliest event; returns false if empty. */
+    bool runNext();
+    /** Run until the queue drains or `limit` events execute. */
+    std::uint64_t runAll(std::uint64_t limit = UINT64_MAX);
+    /** Run events with time <= t, then advance now to t. */
+    std::uint64_t runUntil(Time t);
+
+    Time now() const { return now_; }
+    bool empty() const { return queue_.empty(); }
+    std::size_t pending() const { return queue_.size(); }
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Time when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return b.when < a.when;
+            if (a.priority != b.priority)
+                return b.priority < a.priority;
+            return b.seq < a.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Time now_{0};
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace kelle
+
+#endif // KELLE_SIM_EVENT_QUEUE_HPP

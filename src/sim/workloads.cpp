@@ -1,0 +1,102 @@
+#include "sim/workloads.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace sim {
+
+Task
+lambada()
+{
+    return Task{"LA", 128, 512, 128, 64, 10};
+}
+
+Task
+triviaQa()
+{
+    return Task{"TQ", 512, 2048, 1024, 512, 10};
+}
+
+Task
+qasper()
+{
+    return Task{"QP", 1024, 5120, 1024, 512, 10};
+}
+
+Task
+pg19()
+{
+    return Task{"PG19", 512, 8192, 2048, 1024, 10};
+}
+
+Task
+wikitext2()
+{
+    return Task{"WK2", 512, 1024, 512, 256, 10};
+}
+
+std::vector<Task>
+hardwareTasks()
+{
+    return {lambada(), triviaQa(), qasper(), pg19()};
+}
+
+accel::Workload
+makeWorkload(const Task &task, const model::ModelConfig &model,
+             std::size_t batch)
+{
+    accel::Workload w;
+    w.name = task.name;
+    w.model = model;
+    w.ctxLen = task.ctxLen;
+    w.decLen = task.decLen;
+    w.batch = batch;
+    return w;
+}
+
+Task
+scaledForTiny(const Task &task, std::size_t target_seq)
+{
+    const double total = static_cast<double>(task.ctxLen + task.decLen);
+    const double scale = static_cast<double>(target_seq) / total;
+    auto scaled = [&](std::size_t v, std::size_t lo) {
+        return std::max<std::size_t>(
+            lo, static_cast<std::size_t>(static_cast<double>(v) * scale));
+    };
+    Task t;
+    t.name = task.name + "-tiny";
+    t.ctxLen = scaled(task.ctxLen, 16);
+    t.decLen = scaled(task.decLen, 32);
+    t.budget = scaled(task.budget, 24);
+    t.recentWindow = scaled(task.recentWindow, 8);
+    t.sinkTokens = std::max<std::size_t>(
+        2, static_cast<std::size_t>(task.sinkTokens * scale));
+    // Keep the invariant budget > sink + recent that the cache
+    // validator enforces.
+    if (t.budget <= t.sinkTokens + t.recentWindow)
+        t.budget = t.sinkTokens + t.recentWindow + 8;
+    return t;
+}
+
+kv::KvCacheConfig
+cacheConfigFor(const Task &task, kv::Policy policy)
+{
+    switch (policy) {
+      case kv::Policy::Full:
+        return kv::makeFullConfig();
+      case kv::Policy::Streaming:
+        return kv::makeStreamingConfig(task.budget, task.sinkTokens,
+                                       task.recentWindow);
+      case kv::Policy::H2O:
+        return kv::makeH2OConfig(task.budget, task.recentWindow);
+      case kv::Policy::Aerp:
+        return kv::makeAerpConfig(task.budget, task.sinkTokens,
+                                  task.recentWindow);
+    }
+    KELLE_PANIC("unknown policy");
+}
+
+} // namespace sim
+} // namespace kelle

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Workload presets: the serving tasks of Section 8 (context/decode
+ * lengths, KV budgets, protected windows per Section 7.1) plus the
+ * scaled-down variants used on the functional accuracy substrate.
+ */
+
+#ifndef KELLE_SIM_WORKLOADS_HPP
+#define KELLE_SIM_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "accel/timing_model.hpp"
+#include "kvcache/kv_config.hpp"
+
+namespace kelle {
+namespace sim {
+
+/** One evaluation task as the paper configures it. */
+struct Task
+{
+    std::string name;
+    std::size_t ctxLen = 512;   ///< pre-filling length
+    std::size_t decLen = 2048;  ///< decoding length
+    std::size_t budget = 1024;  ///< KV budget N' (Section 7.1)
+    std::size_t recentWindow = 512;
+    std::size_t sinkTokens = 10;
+};
+
+/** @name Paper task presets (Sections 7.1 and 8). @{ */
+Task lambada();   ///< ctx 128, dec 512, N' 128, recent 64
+Task triviaQa();  ///< ctx 512, dec 2048, N' 1024, recent 512
+Task qasper();    ///< ctx 1024, dec 5120, N' 1024, recent 512
+Task pg19();      ///< ctx 512, dec 8192, N' 2048, recent 1024
+Task wikitext2(); ///< ctx 512, dec 1024, N' 512, recent 256
+/** @} */
+
+/** The Figure 13 / 14 task list. */
+std::vector<Task> hardwareTasks();
+
+/** Build a timing-model workload from a task. */
+accel::Workload makeWorkload(const Task &task,
+                             const model::ModelConfig &model,
+                             std::size_t batch = 16);
+
+/**
+ * Scale a task onto the functional TinyTransformer substrate. The
+ * ratio of budget : recent-window : sink to sequence length is
+ * preserved so eviction pressure matches the paper's setting.
+ */
+Task scaledForTiny(const Task &task, std::size_t target_seq = 192);
+
+/** KV cache config for a task under a given policy preset. */
+kv::KvCacheConfig cacheConfigFor(const Task &task, kv::Policy policy);
+
+} // namespace sim
+} // namespace kelle
+
+#endif // KELLE_SIM_WORKLOADS_HPP

@@ -1,0 +1,121 @@
+#include "tensor/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace kelle {
+namespace tensor {
+
+namespace {
+
+std::uint32_t
+bitsOf(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+floatOf(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+std::uint16_t
+floatToHalfBits(float f)
+{
+    const std::uint32_t u = bitsOf(f);
+    const std::uint32_t sign = (u >> 16) & 0x8000u;
+    const std::uint32_t absU = u & 0x7FFFFFFFu;
+
+    // NaN / Inf.
+    if (absU >= 0x7F800000u) {
+        if (absU > 0x7F800000u) {
+            // NaN: preserve a quiet NaN payload bit.
+            return static_cast<std::uint16_t>(sign | 0x7E00u);
+        }
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+
+    // Overflow to Inf: anything >= 2^16 * (1 - 2^-11) rounds beyond
+    // the max finite half (65504).
+    if (absU >= 0x477FF000u)
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+
+    // Normal range for half: exponent >= -14.
+    if (absU >= 0x38800000u) {
+        // Rebias exponent 127 -> 15, keep 10 mantissa bits with RNE.
+        const std::uint32_t mant = absU & 0x007FFFFFu;
+        const std::uint32_t exp = (absU >> 23) - 112; // 127 - 15
+        std::uint32_t half = (exp << 10) | (mant >> 13);
+        const std::uint32_t rem = mant & 0x1FFFu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) {
+            ++half; // carries into the exponent correctly
+        }
+        return static_cast<std::uint16_t>(sign | half);
+    }
+
+    // Subnormal half range: the result is round(|x| * 2^24) with the
+    // 24-bit significand M = 1.m * 2^23, i.e. M >> (126 - e) with RNE.
+    if (absU >= 0x33000001u) {
+        const int shift = 126 - static_cast<int>(absU >> 23); // 14..24
+        const std::uint32_t mant = (absU & 0x007FFFFFu) | 0x00800000u;
+        std::uint32_t half = mant >> shift;
+        const std::uint32_t mask = (1u << shift) - 1;
+        const std::uint32_t rem = mant & mask;
+        const std::uint32_t midpoint = 1u << (shift - 1);
+        if (rem > midpoint || (rem == midpoint && (half & 1u)))
+            ++half; // may carry into the smallest normal, correctly
+        return static_cast<std::uint16_t>(sign | half);
+    }
+
+    // Underflow to signed zero.
+    return static_cast<std::uint16_t>(sign);
+}
+
+float
+halfBitsToFloat(std::uint16_t h)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1Fu;
+    const std::uint32_t mant = h & 0x3FFu;
+
+    if (exp == 0) {
+        if (mant == 0)
+            return floatOf(sign); // signed zero
+        // Subnormal: normalize.
+        int e = -1;
+        std::uint32_t m = mant;
+        do {
+            ++e;
+            m <<= 1;
+        } while ((m & 0x400u) == 0);
+        const std::uint32_t outExp = 127 - 15 - e;
+        const std::uint32_t outMant = (m & 0x3FFu) << 13;
+        return floatOf(sign | (outExp << 23) | outMant);
+    }
+    if (exp == 0x1Fu) {
+        // Inf / NaN.
+        return floatOf(sign | 0x7F800000u | (mant << 13));
+    }
+    return floatOf(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+float
+halfBitsToFloatSanitized(std::uint16_t h)
+{
+    if (halfIsNonFinite(h)) {
+        if ((h & 0x3FFu) != 0)
+            return 0.0f; // NaN reads as zero
+        return (h & 0x8000u) ? -kHalfMax : kHalfMax;
+    }
+    return halfBitsToFloat(h);
+}
+
+} // namespace tensor
+} // namespace kelle

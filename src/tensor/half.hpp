@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bit-exact software IEEE-754 binary16 (fp16) codec.
+ *
+ * Kelle stores KV vectors as 16-bit words in eDRAM and flips individual
+ * bits to model retention failures (Section 4.2). Accuracy experiments
+ * therefore need byte-true fp16 round trips plus helpers to classify and
+ * sanitize corrupted encodings the way a hardware readout path would.
+ */
+
+#ifndef KELLE_TENSOR_HALF_HPP
+#define KELLE_TENSOR_HALF_HPP
+
+#include <cstdint>
+
+namespace kelle {
+namespace tensor {
+
+/** Largest finite fp16 magnitude. */
+inline constexpr float kHalfMax = 65504.0f;
+
+/** Convert fp32 -> fp16 bits with round-to-nearest-even. */
+std::uint16_t floatToHalfBits(float f);
+
+/** Convert fp16 bits -> fp32 (exact). */
+float halfBitsToFloat(std::uint16_t h);
+
+/** True if the encoding is Inf or NaN (exponent all ones). */
+constexpr bool
+halfIsNonFinite(std::uint16_t h)
+{
+    return (h & 0x7C00u) == 0x7C00u;
+}
+
+/**
+ * Decode with hardware-style sanitization: NaN reads as 0, +-Inf clamps
+ * to +-kHalfMax. A bit flip in the exponent field can turn a stored value
+ * into a non-finite encoding; a real datapath would still latch finite
+ * lanes, so the functional model must not propagate NaN through softmax.
+ */
+float halfBitsToFloatSanitized(std::uint16_t h);
+
+/** Round-trip through fp16 (the precision of stored KV vectors). */
+inline float
+roundToHalf(float f)
+{
+    return halfBitsToFloat(floatToHalfBits(f));
+}
+
+} // namespace tensor
+} // namespace kelle
+
+#endif // KELLE_TENSOR_HALF_HPP

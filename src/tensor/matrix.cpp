@@ -1,0 +1,168 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace kelle {
+namespace tensor {
+
+void
+Matrix::fillGaussian(Rng &rng, float stddev)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+Matrix
+Matrix::matmul(const Matrix &other) const
+{
+    KELLE_ASSERT(cols_ == other.rows_, "matmul shape mismatch: ", rows_, "x",
+                 cols_, " * ", other.rows_, "x", other.cols_);
+    Matrix c(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const float aik = at(i, k);
+            if (aik == 0.0f)
+                continue;
+            const float *brow = other.data() + k * other.cols_;
+            float *crow = c.data() + i * other.cols_;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+Matrix::matmulTransposed(const Matrix &other) const
+{
+    KELLE_ASSERT(cols_ == other.cols_, "matmulT shape mismatch");
+    Matrix c(rows_, other.rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < other.rows_; ++j) {
+            c.at(i, j) = dot(row(i), other.row(j));
+        }
+    }
+    return c;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            t.at(j, i) = at(i, j);
+    return t;
+}
+
+void
+addInPlace(std::span<float> y, std::span<const float> x)
+{
+    KELLE_ASSERT(y.size() == x.size(), "addInPlace size mismatch");
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] += x[i];
+}
+
+void
+matvec(const Matrix &a, std::span<const float> x, std::span<float> y)
+{
+    KELLE_ASSERT(x.size() == a.cols() && y.size() == a.rows(),
+                 "matvec shape mismatch");
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        y[i] = dot(a.row(i), x);
+}
+
+void
+matvecTransposed(const Matrix &a, std::span<const float> x,
+                 std::span<float> y)
+{
+    KELLE_ASSERT(x.size() == a.rows() && y.size() == a.cols(),
+                 "matvecT shape mismatch");
+    std::fill(y.begin(), y.end(), 0.0f);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const float xi = x[i];
+        if (xi == 0.0f)
+            continue;
+        auto row = a.row(i);
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            y[j] += xi * row[j];
+    }
+}
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    KELLE_ASSERT(a.size() == b.size(), "dot size mismatch");
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+softmaxInPlace(std::span<float> x)
+{
+    if (x.empty())
+        return;
+    float maxv = x[0];
+    for (float v : x)
+        maxv = std::max(maxv, v);
+    float sum = 0.0f;
+    for (auto &v : x) {
+        v = std::exp(v - maxv);
+        sum += v;
+    }
+    // sum >= 1 because the max element contributes exp(0) = 1.
+    for (auto &v : x)
+        v /= sum;
+}
+
+void
+rmsNormInPlace(std::span<float> x, std::span<const float> gain, float eps)
+{
+    KELLE_ASSERT(x.size() == gain.size(), "rmsnorm size mismatch");
+    double ss = 0.0;
+    for (float v : x)
+        ss += static_cast<double>(v) * v;
+    const float inv =
+        1.0f / std::sqrt(static_cast<float>(ss / x.size()) + eps);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = x[i] * inv * gain[i];
+}
+
+void
+siluInPlace(std::span<float> x)
+{
+    for (auto &v : x)
+        v = v / (1.0f + std::exp(-v));
+}
+
+void
+geluInPlace(std::span<float> x)
+{
+    constexpr float c = 0.7978845608028654f; // sqrt(2/pi)
+    for (auto &v : x) {
+        const float inner = c * (v + 0.044715f * v * v * v);
+        v = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+}
+
+float
+logSoftmaxAt(std::span<const float> logits, std::size_t idx)
+{
+    KELLE_ASSERT(idx < logits.size(), "logSoftmaxAt index out of range");
+    float maxv = logits[0];
+    for (float v : logits)
+        maxv = std::max(maxv, v);
+    double sum = 0.0;
+    for (float v : logits)
+        sum += std::exp(static_cast<double>(v - maxv));
+    return static_cast<float>(logits[idx] - maxv - std::log(sum));
+}
+
+} // namespace tensor
+} // namespace kelle

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal dense row-major float tensor kernels for the functional LLM
+ * substrate: matmul, matvec, softmax, RMSNorm and the activation
+ * functions used by modern decoder blocks (SiLU for gated MLPs, GELU
+ * for classic MLPs).
+ *
+ * These kernels are the *functional* reference; the cycle-level systolic
+ * array in src/accel produces bit-identical integer results against the
+ * quantized variants and is tested against these.
+ */
+
+#ifndef KELLE_TENSOR_MATRIX_HPP
+#define KELLE_TENSOR_MATRIX_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kelle {
+class Rng;
+namespace tensor {
+
+/** Dense row-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    std::span<float> row(std::size_t r)
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+    std::span<const float>
+    row(std::size_t r) const
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Fill with i.i.d. Gaussian entries of the given std deviation. */
+    void fillGaussian(Rng &rng, float stddev);
+
+    /** C = this * other. Shapes must agree. */
+    Matrix matmul(const Matrix &other) const;
+    /** C = this * other^T. */
+    Matrix matmulTransposed(const Matrix &other) const;
+    Matrix transposed() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** y += x elementwise. */
+void addInPlace(std::span<float> y, std::span<const float> x);
+
+/** y = A * x for row-major A (rows x cols), x of length cols. */
+void matvec(const Matrix &a, std::span<const float> x, std::span<float> y);
+
+/** y = A^T * x for row-major A (rows x cols), x of length rows. */
+void matvecTransposed(const Matrix &a, std::span<const float> x,
+                      std::span<float> y);
+
+/** Dot product. */
+float dot(std::span<const float> a, std::span<const float> b);
+
+/** Numerically stable in-place softmax (subtract-max form). */
+void softmaxInPlace(std::span<float> x);
+
+/** RMSNorm: x <- x / rms(x) * gain. */
+void rmsNormInPlace(std::span<float> x, std::span<const float> gain,
+                    float eps = 1e-5f);
+
+/** SiLU (swish) activation, elementwise in place. */
+void siluInPlace(std::span<float> x);
+
+/** GELU (tanh approximation) activation, elementwise in place. */
+void geluInPlace(std::span<float> x);
+
+/** Log of softmax(x)[idx] computed stably without materializing softmax. */
+float logSoftmaxAt(std::span<const float> logits, std::size_t idx);
+
+} // namespace tensor
+} // namespace kelle
+
+#endif // KELLE_TENSOR_MATRIX_HPP

@@ -1,0 +1,139 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace tensor {
+
+QuantizedRowI8
+quantizeRowI8(std::span<const float> x)
+{
+    float maxAbs = 0.0f;
+    for (float v : x)
+        maxAbs = std::max(maxAbs, std::fabs(v));
+    QuantizedRowI8 row;
+    row.scale = maxAbs > 0.0f ? maxAbs / 127.0f : 1.0f;
+    row.q.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const float q = std::nearbyint(x[i] / row.scale);
+        row.q[i] = static_cast<std::int8_t>(
+            std::clamp(q, -127.0f, 127.0f));
+    }
+    return row;
+}
+
+void
+dequantizeRowI8(const QuantizedRowI8 &row, std::span<float> out)
+{
+    KELLE_ASSERT(out.size() == row.q.size(), "dequant size mismatch");
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<float>(row.q[i]) * row.scale;
+}
+
+void
+fakeQuantI8InPlace(std::span<float> x)
+{
+    auto q = quantizeRowI8(x);
+    dequantizeRowI8(q, x);
+}
+
+QuantizedGroups
+quantizeGroups(std::span<const float> x, int bits, std::size_t group_size)
+{
+    KELLE_ASSERT(bits >= 2 && bits <= 8, "unsupported bit width ", bits);
+    KELLE_ASSERT(group_size > 0, "group size must be positive");
+    QuantizedGroups g;
+    g.bits = bits;
+    g.groupSize = group_size;
+    g.n = x.size();
+    g.q.resize(x.size());
+    const std::size_t groups = (x.size() + group_size - 1) / group_size;
+    g.scales.resize(groups);
+    g.zeros.resize(groups);
+    const float levels = static_cast<float>((1 << bits) - 1);
+
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+        const std::size_t lo = gi * group_size;
+        const std::size_t hi = std::min(lo + group_size, x.size());
+        float vmin = x[lo], vmax = x[lo];
+        for (std::size_t i = lo; i < hi; ++i) {
+            vmin = std::min(vmin, x[i]);
+            vmax = std::max(vmax, x[i]);
+        }
+        float scale = (vmax - vmin) / levels;
+        if (scale <= 0.0f)
+            scale = 1.0f;
+        g.scales[gi] = scale;
+        g.zeros[gi] = vmin;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const float q = std::nearbyint((x[i] - vmin) / scale);
+            g.q[i] = static_cast<std::uint8_t>(
+                std::clamp(q, 0.0f, levels));
+        }
+    }
+    return g;
+}
+
+void
+dequantizeGroups(const QuantizedGroups &g, std::span<float> out)
+{
+    KELLE_ASSERT(out.size() == g.n, "dequant size mismatch");
+    for (std::size_t i = 0; i < g.n; ++i) {
+        const std::size_t gi = i / g.groupSize;
+        out[i] = static_cast<float>(g.q[i]) * g.scales[gi] + g.zeros[gi];
+    }
+}
+
+void
+fakeQuantGroupsInPlace(std::span<float> x, int bits, std::size_t group_size)
+{
+    auto g = quantizeGroups(x, bits, group_size);
+    dequantizeGroups(g, x);
+}
+
+void
+hadamardInPlace(std::span<float> x)
+{
+    const std::size_t n = x.size();
+    KELLE_ASSERT(isPowerOfTwo(n), "Hadamard length must be a power of two, "
+                 "got ", n);
+    for (std::size_t len = 1; len < n; len <<= 1) {
+        for (std::size_t i = 0; i < n; i += len << 1) {
+            for (std::size_t j = i; j < i + len; ++j) {
+                const float a = x[j];
+                const float b = x[j + len];
+                x[j] = a + b;
+                x[j + len] = a - b;
+            }
+        }
+    }
+    const float norm = 1.0f / std::sqrt(static_cast<float>(n));
+    for (auto &v : x)
+        v *= norm;
+}
+
+void
+fakeQuantQuaRotInPlace(std::span<float> x, int bits, std::size_t group_size)
+{
+    hadamardInPlace(x);
+    fakeQuantGroupsInPlace(x, bits, group_size);
+    hadamardInPlace(x); // orthonormal H is its own inverse
+}
+
+double
+quantMse(std::span<const float> x, std::span<const float> xq)
+{
+    KELLE_ASSERT(x.size() == xq.size(), "quantMse size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = static_cast<double>(x[i]) - xq[i];
+        acc += d * d;
+    }
+    return x.empty() ? 0.0 : acc / static_cast<double>(x.size());
+}
+
+} // namespace tensor
+} // namespace kelle

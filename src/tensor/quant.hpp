@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Quantization kernels for the Kelle accuracy and performance studies.
+ *
+ * Three schemes matter in the paper:
+ *  - W8: symmetric per-row int8 weight quantization (all systems,
+ *    Section 5: "weights are quantized to 8 bits").
+ *  - KV4 group quantization: asymmetric 4-bit with per-group scale/zero,
+ *    the KIVI/COMET-style KV compression baseline.
+ *  - QuaRot-style rotation: an exact Walsh-Hadamard transform applied
+ *    before quantization to spread outliers, enabling low-bit KV
+ *    storage (Table 2's "QR" column and Table 6).
+ */
+
+#ifndef KELLE_TENSOR_QUANT_HPP
+#define KELLE_TENSOR_QUANT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace kelle {
+namespace tensor {
+
+/** A symmetric int8-quantized vector: q[i] * scale ~ x[i]. */
+struct QuantizedRowI8
+{
+    std::vector<std::int8_t> q;
+    float scale = 1.0f;
+};
+
+/** Quantize symmetric int8 (scale = max|x| / 127). */
+QuantizedRowI8 quantizeRowI8(std::span<const float> x);
+
+/** Dequantize into out (same length). */
+void dequantizeRowI8(const QuantizedRowI8 &row, std::span<float> out);
+
+/** Round-trip through int8 in place (models W8 weight storage). */
+void fakeQuantI8InPlace(std::span<float> x);
+
+/**
+ * Asymmetric b-bit group quantization (KIVI-style). Each group of
+ * `groupSize` values shares a scale and zero point. Supports b in [2, 8].
+ */
+struct QuantizedGroups
+{
+    std::vector<std::uint8_t> q; ///< one code per element
+    std::vector<float> scales;   ///< per group
+    std::vector<float> zeros;    ///< per group
+    int bits = 4;
+    std::size_t groupSize = 32;
+    std::size_t n = 0;
+};
+
+QuantizedGroups quantizeGroups(std::span<const float> x, int bits,
+                               std::size_t group_size);
+void dequantizeGroups(const QuantizedGroups &g, std::span<float> out);
+
+/** Round-trip through b-bit group quantization in place. */
+void fakeQuantGroupsInPlace(std::span<float> x, int bits,
+                            std::size_t group_size);
+
+/**
+ * In-place Walsh-Hadamard transform, normalized by 1/sqrt(n) so the
+ * transform is orthonormal (applying it twice restores the input).
+ * Length must be a power of two.
+ */
+void hadamardInPlace(std::span<float> x);
+
+/** True if n is a nonzero power of two. */
+constexpr bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * QuaRot-style fake quantization: rotate by the orthonormal Hadamard
+ * transform, group-quantize to `bits`, then rotate back. Outliers are
+ * spread across the group before quantization, which is the mechanism
+ * that lets 4-bit KV storage approach fp16 accuracy.
+ */
+void fakeQuantQuaRotInPlace(std::span<float> x, int bits,
+                            std::size_t group_size);
+
+/** Mean squared quantization error of a scheme on a vector (for tests). */
+double quantMse(std::span<const float> x, std::span<const float> xq);
+
+} // namespace tensor
+} // namespace kelle
+
+#endif // KELLE_TENSOR_QUANT_HPP

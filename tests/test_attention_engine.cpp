@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the hardware-coupled attention engine: numerical fidelity
+ * against the float path, evictor integration and cycle accounting.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "accel/attention_engine.hpp"
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace kelle {
+namespace accel {
+namespace {
+
+struct Ref
+{
+    std::vector<float> probs;
+    std::vector<float> output;
+};
+
+Ref
+floatAttention(const tensor::Matrix &k, const tensor::Matrix &v,
+               std::span<const float> q)
+{
+    const std::size_t n = k.rows(), hd = k.cols();
+    Ref ref;
+    ref.probs.resize(n);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    for (std::size_t i = 0; i < n; ++i)
+        ref.probs[i] = tensor::dot(k.row(i), q) * scale;
+    tensor::softmaxInPlace(ref.probs);
+    ref.output.assign(hd, 0.0f);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < hd; ++d)
+            ref.output[d] += ref.probs[i] * v.at(i, d);
+    return ref;
+}
+
+class AttentionEngineTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kTokens = 40;
+    static constexpr std::size_t kHeadDim = 16;
+
+    void
+    SetUp() override
+    {
+        Rng rng(99);
+        k_ = tensor::Matrix(kTokens, kHeadDim);
+        v_ = tensor::Matrix(kTokens, kHeadDim);
+        k_.fillGaussian(rng, 1.0f);
+        v_.fillGaussian(rng, 1.0f);
+        q_.resize(kHeadDim);
+        for (auto &x : q_)
+            x = static_cast<float>(rng.gaussian());
+        importance_.resize(kTokens);
+        for (auto &x : importance_)
+            x = static_cast<float>(rng.uniform(0.0, 10.0));
+        protected_.assign(kTokens, 0);
+        protected_[0] = 1; // sink
+        for (std::size_t i = kTokens - 4; i < kTokens; ++i)
+            protected_[i] = 1; // recent window
+    }
+
+    tensor::Matrix k_, v_;
+    std::vector<float> q_;
+    std::vector<float> importance_;
+    std::vector<std::uint8_t> protected_;
+
+    std::vector<std::uint8_t> noProtection() const { return {}; }
+};
+
+TEST_F(AttentionEngineTest, ProbsMatchFloatSoftmax)
+{
+    AttentionEngine engine(32);
+    auto mask = protected_;
+    const auto res = engine.run(k_, v_, q_, importance_, mask);
+    const auto ref = floatAttention(k_, v_, q_);
+    ASSERT_EQ(res.probs.size(), ref.probs.size());
+    for (std::size_t i = 0; i < ref.probs.size(); ++i)
+        EXPECT_NEAR(res.probs[i], ref.probs[i], 0.03f) << "slot " << i;
+}
+
+TEST_F(AttentionEngineTest, OutputMatchesFloatPath)
+{
+    AttentionEngine engine(32);
+    auto mask = protected_;
+    const auto res = engine.run(k_, v_, q_, importance_, mask);
+    const auto ref = floatAttention(k_, v_, q_);
+    double err = 0.0, norm = 0.0;
+    for (std::size_t d = 0; d < kHeadDim; ++d) {
+        err += std::pow(res.output[d] - ref.output[d], 2.0);
+        norm += std::pow(ref.output[d], 2.0);
+    }
+    // int8 x int8 attention: a few percent relative error.
+    EXPECT_LT(std::sqrt(err / norm), 0.06);
+}
+
+TEST_F(AttentionEngineTest, VictimIsEligibleArgmin)
+{
+    AttentionEngine engine(32);
+    auto mask = protected_;
+    const auto res = engine.run(k_, v_, q_, importance_, mask);
+    ASSERT_TRUE(res.victim.has_value());
+    const std::size_t victim = *res.victim;
+    EXPECT_FALSE(protected_[victim]);
+
+    // The victim minimizes importance + integer attention score among
+    // eligible slots. Reconstruct the accumulated scores from the
+    // hardware's own integer output path.
+    std::vector<std::int8_t> q8(kHeadDim);
+    const float qs = quantizeVectorI8(q_, q8);
+    (void)qs;
+    std::vector<float> k_flat(k_.data(), k_.data() + kTokens * kHeadDim);
+    std::vector<std::int8_t> k8(kTokens * kHeadDim);
+    quantizeVectorI8(k_flat, k8);
+    std::size_t best = kTokens;
+    float best_score = std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < kTokens; ++i) {
+        if (protected_[i])
+            continue;
+        std::int32_t acc = 0;
+        for (std::size_t d = 0; d < kHeadDim; ++d)
+            acc += static_cast<std::int32_t>(k8[i * kHeadDim + d]) *
+                   static_cast<std::int32_t>(q8[d]);
+        const float s = importance_[i] + static_cast<float>(acc);
+        if (s < best_score) {
+            best_score = s;
+            best = i;
+        }
+    }
+    EXPECT_EQ(victim, best);
+}
+
+TEST_F(AttentionEngineTest, NoSearchWhenUnderBudget)
+{
+    AttentionEngine engine(32);
+    const auto res = engine.run(k_, v_, q_, importance_, {});
+    EXPECT_FALSE(res.victim.has_value());
+    EXPECT_FALSE(res.output.empty());
+}
+
+TEST_F(AttentionEngineTest, CycleAndMacAccounting)
+{
+    AttentionEngine engine(32);
+    auto mask = protected_;
+    const auto res = engine.run(k_, v_, q_, importance_, mask);
+    // Scores: n*hd MACs; value product: n*hd MACs.
+    EXPECT_EQ(res.macs, 2ull * kTokens * kHeadDim);
+    EXPECT_GT(res.cycles, 0u);
+    // Softermax costs 2 LUT ops per element.
+    EXPECT_EQ(res.sfuOps, 2u * kTokens);
+}
+
+TEST_F(AttentionEngineTest, HandlesMoreTokensThanArrayRows)
+{
+    Rng rng(7);
+    const std::size_t n = 100; // > 32 array rows: tiled value product
+    tensor::Matrix k(n, kHeadDim), v(n, kHeadDim);
+    k.fillGaussian(rng, 1.0f);
+    v.fillGaussian(rng, 1.0f);
+    std::vector<float> imp(n, 1.0f);
+
+    AttentionEngine engine(32);
+    const auto res = engine.run(k, v, q_, imp, {});
+    const auto ref = floatAttention(k, v, q_);
+    for (std::size_t d = 0; d < kHeadDim; ++d)
+        EXPECT_NEAR(res.output[d], ref.output[d],
+                    0.05f * std::fabs(ref.output[d]) + 0.05f);
+}
+
+TEST_F(AttentionEngineTest, PeakedDistributionSurvivesQuantization)
+{
+    // One token dominates attention: the engine must preserve that.
+    tensor::Matrix k = k_, v = v_;
+    for (std::size_t d = 0; d < kHeadDim; ++d)
+        k.at(5, d) = 4.0f * q_[d]; // aligned with q -> large score
+    AttentionEngine engine(32);
+    const auto res = engine.run(k, v, q_, importance_, {});
+    std::size_t hw_top = 0;
+    for (std::size_t i = 1; i < res.probs.size(); ++i)
+        if (res.probs[i] > res.probs[hw_top])
+            hw_top = i;
+    EXPECT_EQ(hw_top, 5u);
+    EXPECT_GT(res.probs[5], 0.5f);
+}
+
+class ArrayDimSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ArrayDimSweep, OutputConsistentAcrossArraySizes)
+{
+    const std::size_t dim = GetParam();
+    Rng rng(55);
+    const std::size_t n = 24, hd = 8;
+    tensor::Matrix k(n, hd), v(n, hd);
+    k.fillGaussian(rng, 1.0f);
+    v.fillGaussian(rng, 1.0f);
+    std::vector<float> q(hd), imp(n, 0.0f);
+    for (auto &x : q)
+        x = static_cast<float>(rng.gaussian());
+
+    AttentionEngine a(dim), b(32);
+    const auto ra = a.run(k, v, q, imp, {});
+    const auto rb = b.run(k, v, q, imp, {});
+    for (std::size_t d = 0; d < hd; ++d)
+        EXPECT_NEAR(ra.output[d], rb.output[d], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ArrayDimSweep,
+                         ::testing::Values<std::size_t>(8, 16, 64));
+
+} // namespace
+} // namespace accel
+} // namespace kelle

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the eDRAM subsystem: retention statistics (Figure 4
+ * calibration), 2DRP refresh policy, fault injection and the banked
+ * array with refresh controllers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edram/edram_array.hpp"
+#include "edram/fault_model.hpp"
+#include "edram/refresh_policy.hpp"
+#include "edram/retention.hpp"
+
+namespace kelle {
+namespace edram {
+namespace {
+
+TEST(NormalMath, CdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.96), 0.0249979, 1e-6);
+}
+
+TEST(NormalMath, QuantileInvertsCdf)
+{
+    for (double p : {1e-6, 1e-3, 0.02425, 0.3, 0.5, 0.9, 0.999}) {
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-9)
+            << "p = " << p;
+    }
+}
+
+TEST(Retention, CalibrationHitsAnchors)
+{
+    const auto m = RetentionModel::paper65nm();
+    EXPECT_NEAR(m.failureProbability(Time::micros(45)), 1e-6, 1e-8);
+    EXPECT_NEAR(m.failureProbability(Time::micros(1778)), 1e-3, 1e-5);
+    // Cross-check: the paper's tail point lands near 1e-2.
+    EXPECT_NEAR(m.failureProbability(Time::micros(9120)), 1e-2, 3e-3);
+}
+
+TEST(Retention, FailureProbabilityMonotone)
+{
+    const auto m = RetentionModel::paper65nm();
+    double prev = 0.0;
+    for (double us = 1.0; us < 1e6; us *= 3.0) {
+        const double p = m.failureProbability(Time::micros(us));
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Retention, InverseRoundTrip)
+{
+    const auto m = RetentionModel::paper65nm();
+    for (double p : {1e-6, 1e-4, 1e-3, 1e-2, 0.1}) {
+        const Time t = m.intervalForFailureRate(p);
+        EXPECT_NEAR(m.failureProbability(t), p, p * 1e-6);
+    }
+}
+
+TEST(Retention, SampleDistributionMatchesCdf)
+{
+    const auto m = RetentionModel::paper65nm();
+    Rng rng(5);
+    const int n = 40000;
+    int below = 0;
+    const Time t = Time::millis(10);
+    for (int i = 0; i < n; ++i)
+        below += m.sampleRetention(rng) < t;
+    const double expected = m.failureProbability(t);
+    EXPECT_NEAR(static_cast<double>(below) / n, expected,
+                3.0 * std::sqrt(expected / n) + 1e-3);
+}
+
+TEST(RefreshPolicy, Paper2drpMatchesSection71)
+{
+    const auto iv = RefreshIntervals::paper2drp();
+    EXPECT_DOUBLE_EQ(iv.of(RefreshGroup::HstMsb).ms(), 0.36);
+    EXPECT_DOUBLE_EQ(iv.of(RefreshGroup::HstLsb).ms(), 5.4);
+    EXPECT_DOUBLE_EQ(iv.of(RefreshGroup::LstMsb).ms(), 1.44);
+    EXPECT_DOUBLE_EQ(iv.of(RefreshGroup::LstLsb).ms(), 7.2);
+    // Paper: "an average retention time of 1.05 ms".
+    EXPECT_NEAR(iv.averageInterval().ms(), 1.05, 0.01);
+}
+
+TEST(RefreshPolicy, AverageFailureRateNearPaper)
+{
+    const TwoDRefreshPolicy policy(RefreshIntervals::paper2drp(),
+                                   RetentionModel::paper65nm());
+    // Paper: "an averaged retention failure rate at 2e-3".
+    EXPECT_GT(policy.averageFailureRate(), 1e-3);
+    EXPECT_LT(policy.averageFailureRate(), 5e-3);
+}
+
+TEST(RefreshPolicy, MsbGroupsRefreshedMoreOftenWithinClass)
+{
+    const auto iv = RefreshIntervals::paper2drp();
+    EXPECT_LT(iv.of(RefreshGroup::HstMsb).sec(),
+              iv.of(RefreshGroup::HstLsb).sec());
+    EXPECT_LT(iv.of(RefreshGroup::LstMsb).sec(),
+              iv.of(RefreshGroup::LstLsb).sec());
+    // And HST more often than LST at equal significance.
+    EXPECT_LT(iv.of(RefreshGroup::HstMsb).sec(),
+              iv.of(RefreshGroup::LstMsb).sec());
+    EXPECT_LT(iv.of(RefreshGroup::HstLsb).sec(),
+              iv.of(RefreshGroup::LstLsb).sec());
+}
+
+TEST(RefreshPolicy, UniformAndScaled)
+{
+    const auto u = RefreshIntervals::uniform(Time::micros(540));
+    for (std::size_t g = 0; g < kNumRefreshGroups; ++g)
+        EXPECT_DOUBLE_EQ(u.interval[g].us(), 540.0);
+    const auto s = RefreshIntervals::paper2drp().scaled(2.0);
+    EXPECT_DOUBLE_EQ(s.of(RefreshGroup::HstMsb).ms(), 0.72);
+}
+
+TEST(RefreshPolicy, IsoAccuracyUniformIntervalConsistent)
+{
+    const TwoDRefreshPolicy policy(RefreshIntervals::paper2drp(),
+                                   RetentionModel::paper65nm());
+    const Time iso = policy.isoAccuracyUniformInterval();
+    const double rate = RetentionModel::paper65nm().failureProbability(iso);
+    EXPECT_NEAR(rate, policy.averageFailureRate(),
+                policy.averageFailureRate() * 1e-3);
+}
+
+TEST(FaultModel, ZeroRateFlipsNothing)
+{
+    auto inj = RefreshFaultModel::uniformRate(0.0, 1);
+    std::vector<std::uint16_t> words(256, 0x1234);
+    inj.corrupt(words, kv::FaultContext{true});
+    for (auto w : words)
+        EXPECT_EQ(w, 0x1234);
+    EXPECT_EQ(inj.flipsInjected(), 0u);
+}
+
+TEST(FaultModel, FullRateFlipsEverything)
+{
+    auto inj = RefreshFaultModel::uniformRate(1.0, 1);
+    std::vector<std::uint16_t> words(8, 0x0000);
+    inj.corrupt(words, kv::FaultContext{false});
+    for (auto w : words)
+        EXPECT_EQ(w, 0xFFFF);
+}
+
+TEST(FaultModel, EmpiricalRateMatchesConfigured)
+{
+    const double p = 2e-3;
+    auto inj = RefreshFaultModel::uniformRate(p, 7);
+    std::vector<std::uint16_t> words(200000, 0);
+    inj.corrupt(words, kv::FaultContext{true});
+    const double measured =
+        static_cast<double>(inj.flipsInjected()) /
+        static_cast<double>(inj.bitsProcessed());
+    EXPECT_NEAR(measured, p, 3.0 * std::sqrt(p / 200000.0 / 16.0));
+}
+
+TEST(FaultModel, MsbLsbLanesIndependent)
+{
+    // MSB-only corruption: only bits 15..8 may change.
+    auto inj = RefreshFaultModel::withRates({0.5, 0.0, 0.5, 0.0}, 3);
+    std::vector<std::uint16_t> words(4096, 0x0000);
+    inj.corrupt(words, kv::FaultContext{true});
+    bool any_high = false;
+    for (auto w : words) {
+        EXPECT_EQ(w & 0x00FF, 0);
+        any_high |= (w & 0xFF00) != 0;
+    }
+    EXPECT_TRUE(any_high);
+
+    // LSB-only corruption: only bits 7..0 may change.
+    auto inj2 = RefreshFaultModel::withRates({0.0, 0.5, 0.0, 0.5}, 4);
+    std::vector<std::uint16_t> words2(4096, 0x0000);
+    inj2.corrupt(words2, kv::FaultContext{false});
+    for (auto w : words2)
+        EXPECT_EQ(w & 0xFF00, 0);
+}
+
+TEST(FaultModel, HstLstSelectRates)
+{
+    // HST rates zero, LST rates one: only LST contexts corrupt.
+    auto inj = RefreshFaultModel::withRates({0.0, 0.0, 1.0, 1.0}, 5);
+    std::vector<std::uint16_t> hst(16, 0), lst(16, 0);
+    inj.corrupt(hst, kv::FaultContext{true});
+    inj.corrupt(lst, kv::FaultContext{false});
+    for (auto w : hst)
+        EXPECT_EQ(w, 0);
+    for (auto w : lst)
+        EXPECT_EQ(w, 0xFFFF);
+}
+
+TEST(FaultModel, FromPolicyUsesCalibratedRates)
+{
+    const TwoDRefreshPolicy policy(RefreshIntervals::paper2drp(),
+                                   RetentionModel::paper65nm());
+    RefreshFaultModel inj(policy, 11);
+    EXPECT_NEAR(inj.rateOf(RefreshGroup::HstMsb),
+                policy.failureRate(RefreshGroup::HstMsb), 1e-12);
+    EXPECT_NEAR(inj.rateOf(RefreshGroup::LstLsb),
+                policy.failureRate(RefreshGroup::LstLsb), 1e-12);
+}
+
+// ---- Banked array ------------------------------------------------
+
+EdramArrayConfig
+smallArray()
+{
+    EdramArrayConfig cfg;
+    cfg.capacity = Bytes::kib(4);
+    cfg.banksPerLane = 4;
+    cfg.laneRowBytes = Bytes::count(16);
+    return cfg;
+}
+
+TEST(EdramArray, RowCapacityFromGeometry)
+{
+    const auto cfg = smallArray();
+    // 4 KiB / (4 lanes * 16 B) = 64 rows.
+    EXPECT_EQ(cfg.rowCapacity(), 64u);
+}
+
+TEST(EdramArray, WriteReadAccountsEnergy)
+{
+    KvEdramArray arr(smallArray(), RefreshIntervals::paper2drp());
+    arr.writeRow(0, Time::seconds(0));
+    auto r = arr.readRow(0, Time::micros(1));
+    EXPECT_GT(r.complete.sec(), r.start.sec());
+    // 2 accesses x 64 bytes x 84.8 pJ.
+    EXPECT_NEAR(arr.accessEnergySpent().pj(), 2 * 64 * 84.8, 1.0);
+}
+
+TEST(EdramArray, ParallelLanesNoConflictAcrossRows)
+{
+    KvEdramArray arr(smallArray(), RefreshIntervals::paper2drp());
+    const Time t0 = Time::seconds(0);
+    arr.writeRow(0, t0);
+    arr.writeRow(1, t0); // different bank: no serialization
+    // Row 0 and row 1 map to different banks; both writes should have
+    // started at their issue time (write 1 not delayed by write 0).
+    auto a = arr.readRow(0, Time::micros(5));
+    auto b = arr.readRow(1, Time::micros(5));
+    EXPECT_DOUBLE_EQ(a.start.us(), 5.0);
+    EXPECT_DOUBLE_EQ(b.start.us(), 5.0);
+}
+
+TEST(EdramArray, SameBankConflictSerializes)
+{
+    auto cfg = smallArray();
+    KvEdramArray arr(cfg, RefreshIntervals::paper2drp());
+    const Time t = Time::micros(5);
+    arr.writeRow(0, Time::seconds(0));
+    arr.writeRow(cfg.banksPerLane, Time::seconds(0)); // same bank as 0
+    auto a = arr.readRow(0, t);
+    auto b = arr.readRow(cfg.banksPerLane, t); // conflicts with a
+    EXPECT_GT(b.start.sec(), a.start.sec());
+}
+
+TEST(EdramArray, RefreshEnergyScalesWithInterval)
+{
+    // Faster refresh (retention floor) must spend more energy than
+    // 2DRP over the same interval with the same resident rows.
+    auto run = [&](RefreshIntervals iv) {
+        KvEdramArray arr(smallArray(), iv);
+        for (std::size_t r = 0; r < 32; ++r) {
+            arr.writeRow(r, Time::seconds(0));
+            arr.setScore(r, static_cast<std::uint8_t>(r % 16));
+        }
+        arr.advanceTo(Time::millis(50));
+        return arr.refreshEnergySpent().j();
+    };
+    const double org = run(RefreshIntervals::uniform(Time::micros(45)));
+    const double twod = run(RefreshIntervals::paper2drp());
+    EXPECT_GT(org, twod * 5.0);
+}
+
+TEST(EdramArray, RefreshCountsRowsByGroup)
+{
+    KvEdramArray arr(smallArray(), RefreshIntervals::paper2drp());
+    arr.setHstThreshold(8);
+    arr.writeRow(0, Time::seconds(0));
+    arr.setScore(0, 15); // HST
+    arr.writeRow(1, Time::seconds(0));
+    arr.setScore(1, 1); // LST
+    arr.advanceTo(Time::millis(1.0));
+    // After 1 ms only the HST-MSB timer (0.36 ms) fired (twice).
+    EXPECT_GT(arr.refreshOps(), 0u);
+    const double per_pass_bytes = 16.0 * 2.0; // two lanes per controller
+    const double expected =
+        272.0 * per_pass_bytes * 2.0; // two passes, one HST row
+    EXPECT_NEAR(arr.refreshEnergySpent().pj(), expected, expected * 0.01);
+}
+
+TEST(EdramArray, RefreshHiddenWhenIdle)
+{
+    KvEdramArray arr(smallArray(), RefreshIntervals::paper2drp());
+    for (std::size_t r = 0; r < 16; ++r) {
+        arr.writeRow(r, Time::seconds(0));
+        arr.setScore(r, 15);
+    }
+    arr.advanceTo(Time::millis(20));
+    EXPECT_GT(arr.hiddenRefreshTime().sec(), 0.0);
+    EXPECT_DOUBLE_EQ(arr.stallTime().sec(), 0.0);
+}
+
+TEST(EdramArray, EvictInvalidatesRow)
+{
+    KvEdramArray arr(smallArray(), RefreshIntervals::paper2drp());
+    arr.writeRow(3, Time::seconds(0));
+    EXPECT_EQ(arr.validRows(), 1u);
+    arr.evictRow(3);
+    EXPECT_EQ(arr.validRows(), 0u);
+    EXPECT_DEATH(arr.readRow(3, Time::micros(1)), "invalid row");
+}
+
+TEST(EdramArray, ScoreRegisterFileIs4Bit)
+{
+    KvEdramArray arr(smallArray(), RefreshIntervals::paper2drp());
+    arr.writeRow(0, Time::seconds(0));
+    arr.setScore(0, 15);
+    EXPECT_EQ(arr.score(0), 15);
+    EXPECT_DEATH(arr.setScore(0, 16), "4-bit");
+}
+
+TEST(EdramArray, LeakageGrowsWithTime)
+{
+    KvEdramArray arr(smallArray(), RefreshIntervals::paper2drp());
+    const Energy e1 = arr.totalEnergy(Time::millis(1));
+    const Energy e2 = arr.totalEnergy(Time::millis(2));
+    EXPECT_GT(e2.j(), e1.j());
+}
+
+class RetentionSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RetentionSweep, FailureRateWithinUnit)
+{
+    const auto m = RetentionModel::paper65nm();
+    const double us = GetParam();
+    const double p = m.failureProbability(Time::micros(us));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, RetentionSweep,
+                         ::testing::Values(0.1, 1.0, 45.0, 131.0, 525.0,
+                                           1050.0, 2062.0, 1e5, 1e7));
+
+} // namespace
+} // namespace edram
+} // namespace kelle

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Property-based tests: randomized invariants over the KV cache, the
+ * retention model and the end-to-end timing model, plus parameterized
+ * sweeps across the full (model x task) grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/timing_model.hpp"
+#include "common/rng.hpp"
+#include "edram/retention.hpp"
+#include "kvcache/managed_kv_cache.hpp"
+#include "sim/workloads.hpp"
+
+namespace kelle {
+namespace {
+
+/** Fuzz the cache with random append/observe/gather sequences and
+ *  check structural invariants after every operation. */
+TEST(KvCacheProperty, FuzzedOperationsPreserveInvariants)
+{
+    Rng rng(20240611);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t heads = 1 + rng.below(4);
+        const std::size_t hd = 4u << rng.below(3); // 4, 8, 16
+        const std::size_t d = heads * hd;
+        const std::size_t budget = 8 + rng.below(24);
+        const std::size_t sink = rng.below(3);
+        const std::size_t recent = 1 + rng.below(4);
+
+        auto cfg = kv::makeAerpConfig(budget, sink, recent);
+        cfg.popularityTheta = rng.uniform();
+        kv::ManagedKvCache cache(cfg, 2, heads, hd, d);
+        cache.setRecomputer([](std::size_t, std::span<const float> x,
+                               std::int64_t, std::span<float> k,
+                               std::span<float> v) {
+            for (std::size_t i = 0; i < k.size(); ++i) {
+                k[i] = x[i % x.size()];
+                v[i] = -x[i % x.size()];
+            }
+        });
+
+        std::vector<float> kvec(d), vvec(d), x(d);
+        for (std::int64_t pos = 0; pos < 120; ++pos) {
+            for (auto &f : kvec)
+                f = static_cast<float>(rng.gaussian());
+            for (auto &f : vvec)
+                f = static_cast<float>(rng.gaussian());
+            for (auto &f : x)
+                f = static_cast<float>(rng.gaussian());
+            const std::size_t layer = rng.below(2);
+            // Keep per-layer positions strictly increasing.
+            const std::int64_t p = pos * 2 + static_cast<int>(layer);
+            cache.append(layer, p, kvec, vvec, x);
+
+            for (std::size_t h = 0; h < heads; ++h) {
+                ASSERT_LE(cache.numEntries(layer, h), budget);
+                auto g = cache.gather(layer, h);
+                ASSERT_EQ(g.k.rows(), cache.numEntries(layer, h));
+                ASSERT_EQ(g.positions.size(), g.slots.size());
+                // Positions are unique within a head.
+                auto ps = g.positions;
+                std::sort(ps.begin(), ps.end());
+                ASSERT_TRUE(std::adjacent_find(ps.begin(), ps.end()) ==
+                            ps.end());
+                // Random importance updates keep the cache healthy.
+                std::vector<float> probs(g.slots.size());
+                for (auto &pv : probs)
+                    pv = static_cast<float>(rng.uniform());
+                cache.observeAttention(layer, h, probs, g.slots);
+            }
+            ASSERT_GE(cache.residentKvBytes(), 0.0);
+        }
+    }
+}
+
+/** The retention CDF must be monotone and calibration exact for any
+ *  valid anchor pair. */
+TEST(RetentionProperty, RandomCalibrationsHitTheirAnchors)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 40; ++trial) {
+        const double t1 = rng.uniform(1e-6, 1e-3);
+        const double t2 = t1 * rng.uniform(3.0, 300.0);
+        const double p1 = rng.uniform(1e-8, 1e-4);
+        const double p2 = p1 * rng.uniform(5.0, 1000.0);
+        if (p2 >= 0.5)
+            continue;
+        const auto m = edram::RetentionModel::calibrate(
+            Time::seconds(t1), p1, Time::seconds(t2), p2);
+        EXPECT_NEAR(m.failureProbability(Time::seconds(t1)), p1,
+                    p1 * 1e-6);
+        EXPECT_NEAR(m.failureProbability(Time::seconds(t2)), p2,
+                    p2 * 1e-6);
+        EXPECT_LT(m.failureProbability(Time::seconds(t1 * 0.5)), p1);
+    }
+}
+
+/** Decode latency must be monotone in decode length and batch. */
+TEST(TimingProperty, LatencyMonotoneInWorkload)
+{
+    const auto sys = accel::kelleEdramSystem(512);
+    accel::Workload w;
+    w.model = model::llama2_7b();
+    w.ctxLen = 128;
+    w.batch = 4;
+
+    double prev = 0.0;
+    for (std::size_t dec : {16u, 64u, 256u}) {
+        w.decLen = dec;
+        const double t = accel::simulate(sys, w).decodeLatency.sec();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+
+    w.decLen = 64;
+    double prev_batch = 0.0;
+    for (std::size_t b : {1u, 4u, 16u}) {
+        w.batch = b;
+        const double t = accel::simulate(sys, w).decodeLatency.sec();
+        EXPECT_GT(t, prev_batch);
+        prev_batch = t;
+    }
+}
+
+/** Energy components are non-negative and totals additive. */
+TEST(TimingProperty, EnergyAccountingConsistent)
+{
+    for (const auto &sys :
+         {accel::originalSramSystem(), accel::kelleEdramSystem(256)}) {
+        accel::Workload w;
+        w.model = model::mistral_7b();
+        w.ctxLen = 64;
+        w.decLen = 32;
+        w.batch = 2;
+        const auto r = accel::simulate(sys, w);
+        accel::EnergyBreakdown e = r.prefillEnergy;
+        e += r.decodeEnergy;
+        EXPECT_GE(e.rsa.j(), 0.0);
+        EXPECT_GE(e.refresh.j(), 0.0);
+        EXPECT_GE(e.dram.j(), 0.0);
+        EXPECT_NEAR(e.total().j(),
+                    e.rsa.j() + e.sfu.j() + e.weightSram.j() +
+                        e.kvMem.j() + e.refresh.j() + e.dram.j() +
+                        e.leakage.j(),
+                    1e-12 * e.total().j());
+        EXPECT_GT(r.totalEnergy().j(), 0.0);
+    }
+}
+
+/** Kelle must beat Original+SRAM for every evaluated model and task
+ *  (short-decode variants keep the sweep fast). */
+class ModelTaskGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    static model::ModelConfig
+    modelOf(int idx)
+    {
+        switch (idx) {
+          case 0:
+            return model::llama2_7b();
+          case 1:
+            return model::llama2_13b();
+          case 2:
+            return model::llama32_3b();
+          case 3:
+            return model::llama3_8b();
+          case 4:
+            return model::mistral_7b();
+          case 5:
+            return model::qwen2_7b();
+          default:
+            return model::opt_6_7b();
+        }
+    }
+};
+
+TEST_P(ModelTaskGrid, KelleWinsEverywhere)
+{
+    const auto mc = modelOf(std::get<0>(GetParam()));
+    auto task = sim::hardwareTasks()[static_cast<std::size_t>(
+        std::get<1>(GetParam()))];
+    task.decLen = std::min<std::size_t>(task.decLen, 96); // fast sweep
+    const auto w = sim::makeWorkload(task, mc, 8);
+
+    const auto base = accel::simulate(accel::originalSramSystem(), w);
+    const auto kelle =
+        accel::simulate(accel::kelleEdramSystem(task.budget), w);
+    const auto cmp = accel::compare(base, kelle);
+    EXPECT_GT(cmp.speedup, 1.0) << mc.name << " " << task.name;
+    EXPECT_GT(cmp.energyEfficiency, 1.0) << mc.name << " " << task.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModelsAllTasks, ModelTaskGrid,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(0, 4)));
+
+} // namespace
+} // namespace kelle

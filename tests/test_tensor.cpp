@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit and property tests for the tensor library: fp16 codec, matrix
+ * kernels and quantization.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/half.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/quant.hpp"
+
+namespace kelle {
+namespace tensor {
+namespace {
+
+TEST(Half, KnownEncodings)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000);
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3C00);
+    EXPECT_EQ(floatToHalfBits(-2.0f), 0xC000);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7BFF);
+    EXPECT_EQ(floatToHalfBits(1e30f), 0x7C00);  // overflow -> +inf
+    EXPECT_EQ(floatToHalfBits(-1e30f), 0xFC00); // -inf
+    // Smallest positive subnormal: 2^-24.
+    EXPECT_EQ(floatToHalfBits(5.960464477539063e-08f), 0x0001);
+}
+
+TEST(Half, DecodeKnown)
+{
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x3C00), 1.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0xC000), -2.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x7BFF), 65504.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x0001), 5.960464477539063e-08f);
+    EXPECT_TRUE(std::isinf(halfBitsToFloat(0x7C00)));
+    EXPECT_TRUE(std::isnan(halfBitsToFloat(0x7E00)));
+}
+
+TEST(Half, RoundTripAllEncodings)
+{
+    // Every finite half value must round-trip exactly through float.
+    for (std::uint32_t h = 0; h <= 0xFFFF; ++h) {
+        const auto bits = static_cast<std::uint16_t>(h);
+        if (halfIsNonFinite(bits))
+            continue;
+        const float f = halfBitsToFloat(bits);
+        EXPECT_EQ(floatToHalfBits(f), bits) << "encoding " << h;
+    }
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly between 1.0 and the next half; RNE keeps 1.0.
+    EXPECT_EQ(floatToHalfBits(1.00048828125f), 0x3C00);
+    // 1 + 3*2^-11 rounds up to even mantissa 2.
+    EXPECT_EQ(floatToHalfBits(1.00146484375f), 0x3C02);
+}
+
+TEST(Half, SanitizedReads)
+{
+    EXPECT_FLOAT_EQ(halfBitsToFloatSanitized(0x7C00), kHalfMax);
+    EXPECT_FLOAT_EQ(halfBitsToFloatSanitized(0xFC00), -kHalfMax);
+    EXPECT_FLOAT_EQ(halfBitsToFloatSanitized(0x7E00), 0.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloatSanitized(0x3C00), 1.0f);
+}
+
+TEST(Half, QuantizationErrorBounded)
+{
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const float x = static_cast<float>(rng.uniform(-100.0, 100.0));
+        const float q = roundToHalf(x);
+        // Relative error of fp16 is at most 2^-11 for normal values.
+        EXPECT_LE(std::fabs(q - x), std::fabs(x) * 0x1.0p-10f + 1e-7f);
+    }
+}
+
+TEST(Matrix, MatmulMatchesManual)
+{
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    float va = 1.0f;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            a.at(i, j) = va++;
+    float vb = 1.0f;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            b.at(i, j) = vb++;
+    const Matrix c = a.matmul(b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 28.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 49.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 64.0f);
+}
+
+TEST(Matrix, MatmulTransposedAgrees)
+{
+    Rng rng(5);
+    Matrix a(4, 6), b(5, 6);
+    a.fillGaussian(rng, 1.0f);
+    b.fillGaussian(rng, 1.0f);
+    const Matrix c1 = a.matmulTransposed(b);
+    const Matrix c2 = a.matmul(b.transposed());
+    ASSERT_EQ(c1.rows(), c2.rows());
+    ASSERT_EQ(c1.cols(), c2.cols());
+    for (std::size_t i = 0; i < c1.rows(); ++i)
+        for (std::size_t j = 0; j < c1.cols(); ++j)
+            EXPECT_NEAR(c1.at(i, j), c2.at(i, j), 1e-4f);
+}
+
+TEST(Matrix, MatvecAgreesWithMatmul)
+{
+    Rng rng(6);
+    Matrix a(8, 5);
+    a.fillGaussian(rng, 1.0f);
+    std::vector<float> x(5), y(8);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian());
+    matvec(a, x, y);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(y[i], dot(a.row(i), x), 1e-5f);
+}
+
+TEST(Matrix, MatvecTransposed)
+{
+    Rng rng(7);
+    Matrix a(4, 6);
+    a.fillGaussian(rng, 1.0f);
+    std::vector<float> x(4), y(6), ref(6, 0.0f);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian());
+    matvecTransposed(a, x, y);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            ref[j] += a.at(i, j) * x[i];
+    for (std::size_t j = 0; j < 6; ++j)
+        EXPECT_NEAR(y[j], ref[j], 1e-5f);
+}
+
+TEST(Matrix, SoftmaxProperties)
+{
+    std::vector<float> x = {1.0f, 2.0f, 3.0f, 4.0f};
+    softmaxInPlace(x);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i + 1 < x.size(); ++i)
+        EXPECT_LT(x[i], x[i + 1]); // monotone in the logits
+    for (float v : x) {
+        EXPECT_GT(v, 0.0f);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(Matrix, SoftmaxStableUnderLargeLogits)
+{
+    std::vector<float> x = {1000.0f, 1001.0f};
+    softmaxInPlace(x);
+    EXPECT_NEAR(x[0], 1.0f / (1.0f + std::exp(1.0f)), 1e-5f);
+    EXPECT_FALSE(std::isnan(x[0]));
+}
+
+TEST(Matrix, SoftmaxShiftInvariance)
+{
+    std::vector<float> a = {0.3f, -1.2f, 2.0f};
+    std::vector<float> b = {100.3f, 98.8f, 102.0f};
+    softmaxInPlace(a);
+    softmaxInPlace(b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-5f);
+}
+
+TEST(Matrix, RmsNormUnitRms)
+{
+    std::vector<float> x = {3.0f, -4.0f, 0.0f, 5.0f};
+    std::vector<float> gain(4, 1.0f);
+    rmsNormInPlace(x, gain);
+    double rms = 0.0;
+    for (float v : x)
+        rms += v * v;
+    rms = std::sqrt(rms / x.size());
+    EXPECT_NEAR(rms, 1.0, 1e-3);
+}
+
+TEST(Matrix, ActivationSanity)
+{
+    std::vector<float> x = {-2.0f, 0.0f, 2.0f};
+    std::vector<float> s = x;
+    siluInPlace(s);
+    EXPECT_NEAR(s[1], 0.0f, 1e-7f);
+    EXPECT_LT(s[0], 0.0f);
+    EXPECT_GT(s[2], 1.5f); // silu(2) ~ 1.76
+
+    std::vector<float> g = x;
+    geluInPlace(g);
+    EXPECT_NEAR(g[1], 0.0f, 1e-7f);
+    EXPECT_NEAR(g[2], 1.9546f, 1e-3f);
+}
+
+TEST(Matrix, LogSoftmaxMatchesSoftmax)
+{
+    std::vector<float> logits = {0.5f, -1.0f, 2.5f, 0.0f};
+    std::vector<float> probs = logits;
+    softmaxInPlace(probs);
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        EXPECT_NEAR(logSoftmaxAt(logits, i), std::log(probs[i]), 1e-5f);
+}
+
+TEST(Quant, Int8RoundTripAccuracy)
+{
+    Rng rng(9);
+    std::vector<float> x(256);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian(0.0, 3.0));
+    std::vector<float> q = x;
+    fakeQuantI8InPlace(q);
+    // Max error is scale/2 = max|x| / 254.
+    float max_abs = 0.0f;
+    for (float v : x)
+        max_abs = std::max(max_abs, std::fabs(v));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_LE(std::fabs(q[i] - x[i]), max_abs / 254.0f + 1e-6f);
+}
+
+TEST(Quant, GroupQuantErrorDecreasesWithBits)
+{
+    Rng rng(10);
+    std::vector<float> x(512);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian());
+    std::vector<float> q4 = x, q8 = x;
+    fakeQuantGroupsInPlace(q4, 4, 32);
+    fakeQuantGroupsInPlace(q8, 8, 32);
+    EXPECT_LT(quantMse(x, q8), quantMse(x, q4));
+    EXPECT_GT(quantMse(x, q4), 0.0);
+}
+
+TEST(Quant, GroupQuantHandlesConstantGroup)
+{
+    std::vector<float> x(64, 3.5f);
+    fakeQuantGroupsInPlace(x, 4, 32);
+    for (float v : x)
+        EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(Quant, HadamardIsOrthonormalInvolution)
+{
+    Rng rng(11);
+    std::vector<float> x(64);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian());
+    std::vector<float> y = x;
+    hadamardInPlace(y);
+
+    // Norm preserved.
+    double nx = 0.0, ny = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        nx += x[i] * x[i];
+        ny += y[i] * y[i];
+    }
+    EXPECT_NEAR(nx, ny, 1e-3);
+
+    // Applying twice restores the input.
+    hadamardInPlace(y);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-4f);
+}
+
+TEST(Quant, QuaRotBeatsPlainInt4OnOutliers)
+{
+    // A vector with one large outlier: plain group quant burns its
+    // range on the outlier; the Hadamard rotation spreads it out.
+    Rng rng(12);
+    std::vector<float> x(128);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian(0.0, 0.1));
+    x[7] = 25.0f;
+
+    std::vector<float> plain = x, rotated = x;
+    fakeQuantGroupsInPlace(plain, 4, 128);
+    fakeQuantQuaRotInPlace(rotated, 4, 128);
+    EXPECT_LT(quantMse(x, rotated), quantMse(x, plain));
+}
+
+class GroupQuantParam
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>>
+{};
+
+TEST_P(GroupQuantParam, RoundTripErrorBound)
+{
+    const int bits = std::get<0>(GetParam());
+    const std::size_t group = std::get<1>(GetParam());
+    Rng rng(100 + bits + static_cast<int>(group));
+    std::vector<float> x(group * 4 + 3); // ragged tail group
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    std::vector<float> q = x;
+    fakeQuantGroupsInPlace(q, bits, group);
+    // Error per element is bounded by half the group's step size.
+    const double levels = (1 << bits) - 1;
+    for (std::size_t g = 0; g * group < x.size(); ++g) {
+        const std::size_t lo = g * group;
+        const std::size_t hi = std::min(lo + group, x.size());
+        float vmin = x[lo], vmax = x[lo];
+        for (std::size_t i = lo; i < hi; ++i) {
+            vmin = std::min(vmin, x[i]);
+            vmax = std::max(vmax, x[i]);
+        }
+        const double step = (vmax - vmin) / levels;
+        for (std::size_t i = lo; i < hi; ++i)
+            EXPECT_LE(std::fabs(q[i] - x[i]), step / 2.0 + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndGroups, GroupQuantParam,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values<std::size_t>(16, 32, 64)));
+
+} // namespace
+} // namespace tensor
+} // namespace kelle
