@@ -13,6 +13,7 @@
  */
 
 #include "bench_util.hpp"
+#include "common/arg_parser.hpp"
 #include "common/table.hpp"
 #include "edram/fault_model.hpp"
 #include "sim/experiments.hpp"
@@ -20,8 +21,19 @@
 using namespace kelle;
 
 int
-main()
+main(int argc, char **argv)
 {
+    common::ArgParser args("bench_table2_accuracy",
+                           "Table 2: KV policy accuracy comparison");
+    args.addInt("seed", 101, "base weight seed (GQA model uses seed+101)");
+    args.addInt("seq", 0,
+                "target sequence length for both tasks (0 = per-task "
+                "defaults 160/128)");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    const std::size_t seq = args.getSize("seq");
+
     const edram::TwoDRefreshPolicy refresh(
         edram::RefreshIntervals::paper2drp(),
         edram::RetentionModel::paper65nm());
@@ -32,12 +44,12 @@ main()
         std::uint64_t seed;
     };
     const std::vector<ModelCase> models = {
-        {model::tinyLm(), 101},     // MHA (LLaMA2-style stand-in)
-        {model::tinyLmGqa(), 202},  // GQA (Mistral/LLaMA3-style)
+        {model::tinyLm(), seed},        // MHA (LLaMA2-style stand-in)
+        {model::tinyLmGqa(), seed + 101}, // GQA (Mistral/LLaMA3-style)
     };
     const std::vector<sim::Task> tasks = {
-        sim::scaledForTiny(sim::wikitext2(), 160),
-        sim::scaledForTiny(sim::lambada(), 128),
+        sim::scaledForTiny(sim::wikitext2(), seq ? seq : 160),
+        sim::scaledForTiny(sim::lambada(), seq ? seq : 128),
     };
 
     for (const auto &mc : models) {

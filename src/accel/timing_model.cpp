@@ -229,6 +229,69 @@ decodeStepCosts(const SystemConfig &sys, const Workload &w, std::size_t t)
     return c;
 }
 
+/** Full prefill resource costs (batch-wide, all layers). */
+StepCosts
+prefillCosts(const SystemConfig &sys, const Workload &w)
+{
+    const auto &tech = sys.tech;
+    const double B = static_cast<double>(w.batch);
+    const double L = static_cast<double>(w.model.layers);
+    StepCosts c;
+    double macs = B * w.model.macsPrefill(w.ctxLen);
+    if (sys.prefillAttnSparsity > 0.0) {
+        macs -= sys.prefillAttnSparsity * B *
+                w.model.macsPrefillAttention(w.ctxLen);
+    }
+    c.macs = macs;
+
+    const double w_bytes = w.model.weightBytes(tech.weightBits);
+    // Per-layer activation round trips that overflow the buffer.
+    const double act_layer = B * static_cast<double>(w.ctxLen) *
+                             static_cast<double>(w.model.dModel) * 2.0;
+    double act_spill = 0.0;
+    if (act_layer > tech.actBuffer.capacity().b())
+        act_spill = 2.0 * act_layer * L;
+    // FlashAttention-style IO for the quadratic attention: query
+    // blocks sized by on-chip capacity re-stream K/V per block, so
+    // prefill attention traffic scales inversely with capacity.
+    const double n_ctx = static_cast<double>(w.ctxLen);
+    const double row_bytes =
+        4.0 * static_cast<double>(w.model.dModel) * 2.0;
+    const double block_rows = std::max(
+        1.0, 0.5 * tech.kvMemory.capacity().b() / row_bytes);
+    const double kv_layer_bytes =
+        n_ctx * static_cast<double>(w.model.dKv()) * 2.0 * 2.0;
+    const double attn_reread =
+        B * L * std::ceil(n_ctx / block_rows) * kv_layer_bytes;
+    const double kv_written =
+        B * static_cast<double>(w.ctxLen) *
+        w.model.kvBytesPerToken(sys.kv.kvBits);
+    c.dramBytes = w_bytes + act_spill + attn_reread + kv_written;
+    c.onChipKvBytes = 2.0 * (kv_written + attn_reread);
+    c.sfuOps = B * L *
+               (static_cast<double>(w.model.nHeads) *
+                    static_cast<double>(w.ctxLen) *
+                    static_cast<double>(w.ctxLen) +
+                (4.0 * static_cast<double>(w.model.dModel) +
+                 static_cast<double>(w.model.dFfn)) *
+                    static_cast<double>(w.ctxLen));
+
+    c.phases.dram =
+        Time::seconds(c.dramBytes / (tech.dram.bandwidth().value *
+                                 tech.dramEfficiency));
+    c.phases.sramW =
+        Time::seconds(w_bytes / tech.weightSram.bandwidth().value);
+    c.phases.kvMem = Time::seconds(
+        c.onChipKvBytes / tech.kvMemory.bandwidth().value);
+    c.phases.compute = Time::seconds(
+        c.macs / (tech.rsa.utilization * tech.rsa.peakMacsPerSec() *
+                  sys.prefillComputeSpeedup));
+    c.phases.sfu = Time::seconds(
+        c.sfuOps / (static_cast<double>(tech.sfu.lanes) *
+                    tech.rsa.clockHz));
+    return c;
+}
+
 /** Accumulate the energy of one phase given its latency and costs. */
 EnergyBreakdown
 phaseEnergy(const SystemConfig &sys, const StepCosts &c, Time latency,
@@ -278,7 +341,174 @@ phaseEnergy(const SystemConfig &sys, const StepCosts &c, Time latency,
     return e;
 }
 
+/**
+ * Per-step resource costs of one decode iteration over a heterogeneous
+ * continuous batch. Mirrors decodeStepCosts, but sums per-sequence
+ * terms so member sequences may sit at different positions with
+ * different AERP budgets; the weight stream is charged once for the
+ * whole batch.
+ */
+StepCosts
+batchedDecodeCosts(const SystemConfig &sys, const model::ModelConfig &m,
+                   const std::vector<std::size_t> &resident)
+{
+    const auto &tech = sys.tech;
+    const double L = static_cast<double>(m.layers);
+    const double d = static_cast<double>(m.dModel);
+    const double dkv = static_cast<double>(m.dKv());
+    const double B = static_cast<double>(resident.size());
+
+    const double kv_tok = m.kvBytesPerTokenPerLayer(sys.kv.kvBits);
+    const double x_tok = d * 2.0; // 16-bit activations
+    const double w_step = m.weightBytes(tech.weightBits);
+
+    StepCosts c;
+    double n_sum = 0.0;
+    double ws = 0.0;
+    for (std::size_t n : resident) {
+        const double nd = static_cast<double>(n);
+        n_sum += nd;
+        c.macs += m.macsPerDecodeToken(n);
+        ws += static_cast<double>(m.nHeads) * nd * 2.0 + 3.0 * d * 2.0;
+        c.sfuOps += L * (2.0 * static_cast<double>(m.nHeads) * nd +
+                         4.0 * d + static_cast<double>(m.dFfn));
+    }
+
+    // AERP recomputation, sized by the same roofline balance as the
+    // uniform path but over the aggregate resident population.
+    const double eligible =
+        (sys.kv.recompute == RecomputeMode::None)
+            ? 0.0
+            : sys.kv.popularFraction * n_sum;
+    const double macs_per_recomp = 2.0 * d * dkv;
+    double n_rec = 0.0;
+    const double bw = tech.dram.bandwidth().value * tech.dramEfficiency;
+    const double flops = tech.rsa.utilization * tech.rsa.peakMacsPerSec();
+    if (sys.kv.recompute == RecomputeMode::Over) {
+        n_rec = eligible;
+    } else if (sys.kv.recompute == RecomputeMode::Auto) {
+        const double resident0 = L * n_sum * kv_tok;
+        const double t_mem = (w_step + resident0) / bw;
+        const double t_comp = c.macs / flops;
+        if (t_mem > t_comp) {
+            const double cost_per_tok = L * macs_per_recomp / flops;
+            const double save_per_tok = L * kv_tok / bw;
+            n_rec = (t_mem - t_comp) / (cost_per_tok + save_per_tok);
+            n_rec = std::min(eligible, n_rec);
+        }
+    }
+    c.recomputedTokens = n_rec;
+    c.recomputeMacs = L * n_rec * macs_per_recomp;
+    c.macs += c.recomputeMacs;
+
+    const double kv_res =
+        n_sum * kv_tok - n_rec * std::max(0.0, kv_tok - x_tok);
+    c.residentKvBytes = L * kv_res;
+
+    // Working set vs on-chip capacity, shared by the whole batch.
+    const double kv_cap = tech.kvMemory.capacity().b();
+    const double spill = std::max(0.0, ws - kv_cap);
+    const double avail = std::max(0.0, kv_cap - ws);
+    c.onChipResidentKvBytes = std::min(c.residentKvBytes, avail);
+    const double f_on = c.residentKvBytes > 0
+                            ? c.onChipResidentKvBytes / c.residentKvBytes
+                            : 0.0;
+
+    double kv_reads = c.residentKvBytes;
+    const double kv_writes = B * L * kv_tok; // one new token per member
+    double spill_dram = 0.0;
+    if (spill > 0.0) {
+        const double spill_traffic = 2.0 * spill * L;
+        if (kv_reads <= spill_traffic) {
+            kv_reads *= 2.0; // two-pass re-read
+        } else {
+            spill_dram = spill_traffic;
+        }
+    }
+    c.dramBytes =
+        w_step + (1.0 - f_on) * (kv_reads + kv_writes) + spill_dram;
+    c.onChipKvBytes = 2.0 * (kv_reads + kv_writes) +
+                      2.0 * std::min(ws, kv_cap) * L;
+
+    c.phases.dram = Time::seconds(
+        std::max(c.dramBytes / bw, c.recomputeMacs / flops));
+    c.phases.sramW =
+        Time::seconds(w_step / tech.weightSram.bandwidth().value);
+    c.phases.kvMem =
+        Time::seconds(c.onChipKvBytes / tech.kvMemory.bandwidth().value);
+    c.phases.compute =
+        Time::seconds((c.macs - c.recomputeMacs) / flops);
+    c.phases.sfu = Time::seconds(
+        c.sfuOps / (static_cast<double>(tech.sfu.lanes) *
+                    tech.rsa.clockHz));
+    return c;
+}
+
+/**
+ * Step latency + energy from composed phases. The software-eviction
+ * overhead applies to decode steps only, matching simulate(), which
+ * charges it per decode step and never on prefill.
+ */
+StepReport
+finishStep(const SystemConfig &sys, const Workload &w, const StepCosts &c,
+           bool decode_step)
+{
+    const double L = static_cast<double>(w.model.layers);
+    const bool sw_evict =
+        decode_step && sys.kv.evict && !sys.kv.systolicEvictor;
+    Time lat = composeStepLatency(sys.scheduler, c.phases);
+    if (sw_evict)
+        lat *= (1.0 + kSoftwareEvictLatencyOverhead);
+
+    EnergyBreakdown e = phaseEnergy(
+        sys, c, lat, Time::seconds(c.phases.sramW.sec() / L),
+        Time::seconds(c.phases.kvMem.sec() / L), w);
+    if (sw_evict) {
+        const double scale = 1.0 + kSoftwareEvictEnergyOverhead;
+        e.rsa *= scale;
+        e.sfu *= scale;
+        e.kvMem *= scale;
+    }
+
+    StepReport rep;
+    rep.latency = lat;
+    rep.energy = e;
+    rep.dramBytes = c.dramBytes;
+    rep.macs = c.macs;
+    return rep;
+}
+
 } // namespace
+
+StepReport
+simulatePrefillStep(const SystemConfig &sys, const model::ModelConfig &m,
+                    std::size_t ctx_len)
+{
+    KELLE_ASSERT(ctx_len > 0, "empty prompt");
+    Workload w;
+    w.name = "prefill";
+    w.model = m;
+    w.ctxLen = ctx_len;
+    w.decLen = 1;
+    w.batch = 1;
+    return finishStep(sys, w, prefillCosts(sys, w), false);
+}
+
+StepReport
+simulateBatchedDecodeStep(const SystemConfig &sys,
+                          const model::ModelConfig &m,
+                          const std::vector<std::size_t> &resident_tokens)
+{
+    KELLE_ASSERT(!resident_tokens.empty(), "empty decode batch");
+    Workload w;
+    w.name = "decode-step";
+    w.model = m;
+    w.ctxLen = 0;
+    w.decLen = 1;
+    w.batch = resident_tokens.size();
+    return finishStep(sys, w, batchedDecodeCosts(sys, m, resident_tokens),
+                      true);
+}
 
 Energy
 RunReport::totalEnergy() const
@@ -313,67 +543,12 @@ RunReport
 simulate(const SystemConfig &sys, const Workload &w)
 {
     KELLE_ASSERT(w.decLen > 0 && w.batch > 0, "degenerate workload");
-    const auto &tech = sys.tech;
     RunReport rep;
 
     // ---- Prefill -------------------------------------------------
     {
-        const double B = static_cast<double>(w.batch);
         const double L = static_cast<double>(w.model.layers);
-        StepCosts c;
-        double macs = B * w.model.macsPrefill(w.ctxLen);
-        if (sys.prefillAttnSparsity > 0.0) {
-            macs -= sys.prefillAttnSparsity * B *
-                    w.model.macsPrefillAttention(w.ctxLen);
-        }
-        c.macs = macs;
-
-        const double w_bytes = w.model.weightBytes(tech.weightBits);
-        // Per-layer activation round trips that overflow the buffer.
-        const double act_layer = B * static_cast<double>(w.ctxLen) *
-                                 static_cast<double>(w.model.dModel) * 2.0;
-        double act_spill = 0.0;
-        if (act_layer > tech.actBuffer.capacity().b())
-            act_spill = 2.0 * act_layer * L;
-        // FlashAttention-style IO for the quadratic attention: query
-        // blocks sized by on-chip capacity re-stream K/V per block, so
-        // prefill attention traffic scales inversely with capacity.
-        const double n_ctx = static_cast<double>(w.ctxLen);
-        const double row_bytes =
-            4.0 * static_cast<double>(w.model.dModel) * 2.0;
-        const double block_rows = std::max(
-            1.0, 0.5 * tech.kvMemory.capacity().b() / row_bytes);
-        const double kv_layer_bytes =
-            n_ctx * static_cast<double>(w.model.dKv()) * 2.0 * 2.0;
-        const double attn_reread =
-            B * L * std::ceil(n_ctx / block_rows) * kv_layer_bytes;
-        const double kv_written =
-            B * static_cast<double>(w.ctxLen) *
-            w.model.kvBytesPerToken(sys.kv.kvBits);
-        c.dramBytes = w_bytes + act_spill + attn_reread + kv_written;
-        c.onChipKvBytes = 2.0 * (kv_written + attn_reread);
-        c.sfuOps = B * L *
-                   (static_cast<double>(w.model.nHeads) *
-                        static_cast<double>(w.ctxLen) *
-                        static_cast<double>(w.ctxLen) +
-                    (4.0 * static_cast<double>(w.model.dModel) +
-                     static_cast<double>(w.model.dFfn)) *
-                        static_cast<double>(w.ctxLen));
-
-        c.phases.dram =
-            Time::seconds(c.dramBytes / (tech.dram.bandwidth().value *
-                                     tech.dramEfficiency));
-        c.phases.sramW =
-            Time::seconds(w_bytes / tech.weightSram.bandwidth().value);
-        c.phases.kvMem = Time::seconds(
-            c.onChipKvBytes / tech.kvMemory.bandwidth().value);
-        c.phases.compute = Time::seconds(
-            c.macs / (tech.rsa.utilization * tech.rsa.peakMacsPerSec() *
-                      sys.prefillComputeSpeedup));
-        c.phases.sfu = Time::seconds(
-            c.sfuOps / (static_cast<double>(tech.sfu.lanes) *
-                        tech.rsa.clockHz));
-
+        StepCosts c = prefillCosts(sys, w);
         rep.prefillLatency = composeStepLatency(sys.scheduler, c.phases);
         rep.prefillEnergy = phaseEnergy(
             sys, c, rep.prefillLatency,
@@ -390,23 +565,9 @@ simulate(const SystemConfig &sys, const Workload &w)
     double f_on_acc = 0.0;
     for (std::size_t t = 0; t < w.decLen; ++t) {
         StepCosts c = decodeStepCosts(sys, w, t);
-        Time step = composeStepLatency(sys.scheduler, c.phases);
-        if (sys.kv.evict && !sys.kv.systolicEvictor)
-            step *= (1.0 + kSoftwareEvictLatencyOverhead);
-
-        const double L = static_cast<double>(w.model.layers);
-        EnergyBreakdown e = phaseEnergy(
-            sys, c, step, Time::seconds(c.phases.sramW.sec() / L),
-            Time::seconds(c.phases.kvMem.sec() / L), w);
-        if (sys.kv.evict && !sys.kv.systolicEvictor) {
-            const double scale = 1.0 + kSoftwareEvictEnergyOverhead;
-            e.rsa *= scale;
-            e.sfu *= scale;
-            e.kvMem *= scale;
-        }
-
-        decode_latency += step;
-        decode_energy += e;
+        StepReport step = finishStep(sys, w, c, true);
+        decode_latency += step.latency;
+        decode_energy += step.energy;
         rep.dramBytesTotal += c.dramBytes;
         rep.macsTotal += c.macs;
         recomp_acc += c.recomputedTokens;

@@ -23,7 +23,9 @@
 #ifndef KELLE_ACCEL_TIMING_MODEL_HPP
 #define KELLE_ACCEL_TIMING_MODEL_HPP
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "accel/energy_model.hpp"
 #include "accel/scheduler.hpp"
@@ -132,6 +134,44 @@ struct RunReport
 
 /** Run the analytic simulation. */
 RunReport simulate(const SystemConfig &sys, const Workload &w);
+
+/**
+ * @name Serving-layer entry points (src/serving)
+ *
+ * The multi-request serving engine schedules work one accelerator
+ * *engine step* at a time: either one request's prefill, or one decode
+ * step over a heterogeneous continuous batch. Unlike `simulate`, which
+ * integrates a uniform batch over a whole decode, these return the
+ * cost of a single step so an event-driven scheduler can interleave
+ * requests at iteration granularity.
+ * @{
+ */
+
+/** Latency/energy of one engine step. */
+struct StepReport
+{
+    Time latency;
+    EnergyBreakdown energy;
+    double dramBytes = 0.0;
+    double macs = 0.0;
+};
+
+/** One request's prefill executed in isolation (batch of one). */
+StepReport simulatePrefillStep(const SystemConfig &sys,
+                               const model::ModelConfig &m,
+                               std::size_t ctx_len);
+
+/**
+ * One decode step over a continuous batch. `resident_tokens` holds the
+ * per-sequence KV-resident token count at attention time; the weight
+ * stream is fetched once and amortized across every member sequence,
+ * which is where batched decode wins over request-at-a-time serving.
+ */
+StepReport simulateBatchedDecodeStep(
+    const SystemConfig &sys, const model::ModelConfig &m,
+    const std::vector<std::size_t> &resident_tokens);
+
+/** @} */
 
 /** Speedup and energy-efficiency of `sys` relative to `base`. */
 struct Comparison

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal shared CLI flag parser for the bench and example binaries.
+ *
+ * Flags are registered with a type, a default and a help line, then
+ * parsed from `--name value` or `--name=value` (plus `--help`).
+ * Unknown flags, missing values and malformed numbers are reported
+ * with the usage text; the caller exits with `exitCode()`:
+ *
+ *   common::ArgParser args("bench_serving", "serving-engine sweep");
+ *   args.addDouble("rate", 0.02, "mean arrival rate (req/s)");
+ *   args.addString("policy", "both", "fcfs | contbatch | both");
+ *   if (!args.parse(argc, argv))
+ *       return args.exitCode();
+ *   double rate = args.getDouble("rate");
+ */
+
+#ifndef KELLE_COMMON_ARG_PARSER_HPP
+#define KELLE_COMMON_ARG_PARSER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kelle {
+namespace common {
+
+class ArgParser
+{
+  public:
+    ArgParser(std::string program, std::string description);
+
+    /** @name Flag registration (call before parse). @{ */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    void addBool(const std::string &name, bool def,
+                 const std::string &help);
+    /** @} */
+
+    /**
+     * Parse argv. Returns false when parsing should end the program:
+     * on `--help` (exitCode 0) or on an error (exitCode 1, message +
+     * usage on stderr).
+     */
+    bool parse(int argc, char **argv);
+
+    /** @name Typed access (after parse; flag must be registered). @{ */
+    std::int64_t getInt(const std::string &name) const;
+    /** Int flag destined for a size/count: fatal()s when negative. */
+    std::size_t getSize(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    std::string getString(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+    /** @} */
+
+    /** Whether the flag appeared on the command line. */
+    bool provided(const std::string &name) const;
+
+    int exitCode() const { return exitCode_; }
+    std::string usage() const;
+
+  private:
+    enum class Kind
+    {
+        Int,
+        Double,
+        String,
+        Bool
+    };
+    struct Flag
+    {
+        std::string name;
+        Kind kind;
+        std::string help;
+        std::string defaultText;
+        std::int64_t intValue = 0;
+        double doubleValue = 0.0;
+        std::string stringValue;
+        bool boolValue = false;
+        bool provided = false;
+    };
+
+    Flag *find(const std::string &name);
+    const Flag &require(const std::string &name, Kind kind) const;
+    bool fail(const std::string &message);
+
+    std::string program_;
+    std::string description_;
+    std::vector<Flag> flags_;
+    int exitCode_ = 0;
+};
+
+} // namespace common
+} // namespace kelle
+
+#endif // KELLE_COMMON_ARG_PARSER_HPP

@@ -1,0 +1,87 @@
+#include "serving/kv_budget_allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace serving {
+
+KvBudgetAllocator::KvBudgetAllocator(const AllocatorConfig &cfg)
+    : capacityBytes_(cfg.capacityBytes),
+      bytesPerToken_(cfg.bytesPerToken),
+      highWatermark_(cfg.highWatermark)
+{
+    KELLE_ASSERT(capacityBytes_ > 0.0, "empty KV pool");
+    KELLE_ASSERT(bytesPerToken_ > 0.0, "degenerate KV token size");
+    KELLE_ASSERT(highWatermark_ > 0.0 && highWatermark_ <= 1.0,
+                 "watermark outside (0, 1]");
+}
+
+KvBudgetAllocator::Grant
+KvBudgetAllocator::tryAdmit(std::size_t requested_tokens,
+                            std::size_t min_tokens)
+{
+    KELLE_ASSERT(min_tokens > 0 && requested_tokens >= min_tokens,
+                 "floor must be positive and <= requested budget");
+
+    const double free_bytes = capacityBytes_ - inUseBytes_;
+    const double full_bytes =
+        static_cast<double>(requested_tokens) * bytesPerToken_;
+
+    std::size_t tokens = requested_tokens;
+    if (full_bytes > free_bytes ||
+        (inUseBytes_ + full_bytes) / capacityBytes_ > highWatermark_) {
+        // Eviction-pressure feedback: grant the largest budget that
+        // stays below the watermark, never below the protected floor.
+        const double below_mark =
+            std::max(0.0, highWatermark_ * capacityBytes_ - inUseBytes_);
+        tokens = static_cast<std::size_t>(below_mark / bytesPerToken_);
+        tokens = std::clamp(tokens, min_tokens, requested_tokens);
+    }
+
+    const double bytes = static_cast<double>(tokens) * bytesPerToken_;
+    if (bytes > free_bytes) {
+        ++deferrals_;
+        return Grant{};
+    }
+
+    inUseBytes_ += bytes;
+    peakInUseBytes_ = std::max(peakInUseBytes_, inUseBytes_);
+    KELLE_ASSERT(inUseBytes_ <= capacityBytes_ + 1e-6,
+                 "KV pool oversubscribed");
+    if (tokens < requested_tokens)
+        ++shrunkGrants_;
+
+    Grant g;
+    g.admitted = true;
+    g.budgetTokens = tokens;
+    g.bytes = bytes;
+    return g;
+}
+
+void
+KvBudgetAllocator::release(Grant &grant)
+{
+    KELLE_ASSERT(grant.admitted, "releasing an empty grant");
+    KELLE_ASSERT(grant.bytes <= inUseBytes_ + 1e-6,
+                 "releasing more than is reserved");
+    inUseBytes_ = std::max(0.0, inUseBytes_ - grant.bytes);
+    grant = Grant{};
+}
+
+double
+KvBudgetAllocator::utilization() const
+{
+    return inUseBytes_ / capacityBytes_;
+}
+
+std::size_t
+KvBudgetAllocator::capacityTokens() const
+{
+    return static_cast<std::size_t>(capacityBytes_ / bytesPerToken_);
+}
+
+} // namespace serving
+} // namespace kelle

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Admission control over the finite KV pool.
+ *
+ * Under concurrent requests the KV cache is a shared, capacity-bound
+ * memory object: every admitted request reserves `N' tokens x
+ * kvBytesPerToken` for its lifetime. The allocator grants per-request
+ * AERP budgets N' out of a byte pool sized from the capacity analysis
+ * of accel::maxSupportedTokens (device DRAM net of weights) or from an
+ * explicit token count, and implements eviction-pressure feedback:
+ * once utilization crosses a high watermark, new grants are shrunk
+ * toward the request's protected floor (sink + recent window), which
+ * raises each member's eviction rate instead of refusing service.
+ * A request is deferred (left queued) when even its floor does not fit
+ * in the currently free bytes, and can only be rejected by the caller
+ * when the floor exceeds the whole pool.
+ *
+ * Invariant: reserved bytes never exceed the pool capacity.
+ */
+
+#ifndef KELLE_SERVING_KV_BUDGET_ALLOCATOR_HPP
+#define KELLE_SERVING_KV_BUDGET_ALLOCATOR_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kelle {
+namespace serving {
+
+/** Pool sizing and pressure behaviour. */
+struct AllocatorConfig
+{
+    double capacityBytes = 0.0;  ///< total KV pool
+    double bytesPerToken = 1.0;  ///< model.kvBytesPerToken(kvBits)
+    /** Utilization above which new grants shrink toward the floor. */
+    double highWatermark = 0.85;
+};
+
+class KvBudgetAllocator
+{
+  public:
+    /** Outcome of an admission attempt. */
+    struct Grant
+    {
+        bool admitted = false;
+        std::size_t budgetTokens = 0; ///< granted N'
+        double bytes = 0.0;           ///< reserved pool bytes
+    };
+
+    explicit KvBudgetAllocator(const AllocatorConfig &cfg);
+
+    /**
+     * Try to admit a request asking for `requested_tokens` with a
+     * protected floor of `min_tokens` (sink + recent window). Grants
+     * the full request while below the watermark, the largest budget
+     * that stays below it under pressure (never below the floor), and
+     * defers when the floor does not fit in the free bytes.
+     */
+    Grant tryAdmit(std::size_t requested_tokens, std::size_t min_tokens);
+
+    /** Return a grant's bytes to the pool; zeroes the grant. */
+    void release(Grant &grant);
+
+    double capacityBytes() const { return capacityBytes_; }
+    double inUseBytes() const { return inUseBytes_; }
+    double peakInUseBytes() const { return peakInUseBytes_; }
+    double utilization() const;
+    std::size_t capacityTokens() const;
+
+    /** Admissions granted below the requested budget. */
+    std::uint64_t shrunkGrants() const { return shrunkGrants_; }
+    /** Failed attempts (request stays queued). */
+    std::uint64_t deferrals() const { return deferrals_; }
+
+  private:
+    double capacityBytes_;
+    double bytesPerToken_;
+    double highWatermark_;
+
+    double inUseBytes_ = 0.0;
+    double peakInUseBytes_ = 0.0;
+    std::uint64_t shrunkGrants_ = 0;
+    std::uint64_t deferrals_ = 0;
+};
+
+} // namespace serving
+} // namespace kelle
+
+#endif // KELLE_SERVING_KV_BUDGET_ALLOCATOR_HPP

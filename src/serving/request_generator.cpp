@@ -1,0 +1,148 @@
+#include "serving/request_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace kelle {
+namespace serving {
+
+namespace {
+
+/** Exponential draw with the given rate; +inf when the rate is ~0. */
+double
+expDraw(Rng &rng, double rate)
+{
+    if (rate <= 1e-12)
+        return std::numeric_limits<double>::infinity();
+    // Guard log(0); uniform() is in [0, 1).
+    double u = rng.uniform();
+    while (u <= 1e-300)
+        u = rng.uniform();
+    return -std::log(u) / rate;
+}
+
+std::vector<std::pair<sim::Task, double>>
+defaultMix()
+{
+    std::vector<std::pair<sim::Task, double>> mix;
+    for (const auto &t : sim::hardwareTasks())
+        mix.emplace_back(t, 1.0);
+    return mix;
+}
+
+const sim::Task &
+sampleTask(Rng &rng, const std::vector<std::pair<sim::Task, double>> &mix)
+{
+    double total = 0.0;
+    for (const auto &[task, weight] : mix)
+        total += weight;
+    KELLE_ASSERT(total > 0.0, "task mix has zero total weight");
+    double pick = rng.uniform(0.0, total);
+    for (const auto &entry : mix) {
+        pick -= entry.second;
+        if (pick < 0.0)
+            return entry.first;
+    }
+    return mix.back().first;
+}
+
+} // namespace
+
+std::string
+toString(ArrivalProcess p)
+{
+    switch (p) {
+      case ArrivalProcess::Poisson:
+        return "poisson";
+      case ArrivalProcess::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+bool
+parseArrivalProcess(const std::string &text, ArrivalProcess *out)
+{
+    if (text == "poisson") {
+        *out = ArrivalProcess::Poisson;
+        return true;
+    }
+    if (text == "bursty") {
+        *out = ArrivalProcess::Bursty;
+        return true;
+    }
+    return false;
+}
+
+std::vector<Request>
+generateTrace(const TrafficConfig &cfg)
+{
+    KELLE_ASSERT(cfg.ratePerSec > 0.0, "arrival rate must be positive");
+    KELLE_ASSERT(cfg.numRequests > 0, "empty trace requested");
+    KELLE_ASSERT(cfg.burstMeanArrivals > 0.0,
+                 "bursty phases need a positive mean arrival count");
+
+    const auto mix = cfg.mix.empty() ? defaultMix() : cfg.mix;
+    Rng rng(cfg.seed);
+
+    // MMPP phase rates. The off-phase rate is whatever preserves the
+    // long-run mean: rate = f*on + (1-f)*off.
+    const double f = std::clamp(cfg.burstFraction, 0.01, 0.99);
+    const double on_rate = cfg.ratePerSec * std::max(1.0, cfg.burstFactor);
+    const double off_rate = std::max(
+        0.0, (cfg.ratePerSec - f * on_rate) / (1.0 - f));
+    const double on_dwell = cfg.burstMeanArrivals / on_rate;
+    const double off_dwell = on_dwell * (1.0 - f) / f;
+
+    std::vector<Request> trace;
+    trace.reserve(cfg.numRequests);
+
+    double now = 0.0;
+    bool on_phase = false; // bursty traces start idle
+    double phase_end =
+        (cfg.process == ArrivalProcess::Bursty)
+            ? expDraw(rng, 1.0 / off_dwell)
+            : std::numeric_limits<double>::infinity();
+
+    while (trace.size() < cfg.numRequests) {
+        const double rate = (cfg.process == ArrivalProcess::Poisson)
+                                ? cfg.ratePerSec
+                                : (on_phase ? on_rate : off_rate);
+        const double dt = expDraw(rng, rate);
+        if (now + dt < phase_end) {
+            now += dt;
+            Request r;
+            r.id = trace.size();
+            r.task = sampleTask(rng, mix);
+            r.arrival = Time::seconds(now);
+            trace.push_back(r);
+        } else {
+            now = phase_end;
+            on_phase = !on_phase;
+            phase_end =
+                now + expDraw(rng, 1.0 / (on_phase ? on_dwell : off_dwell));
+        }
+    }
+    return trace;
+}
+
+double
+offeredTokensPerSec(const TrafficConfig &cfg)
+{
+    const auto mix = cfg.mix.empty() ? defaultMix() : cfg.mix;
+    double total_w = 0.0;
+    double total_tok = 0.0;
+    for (const auto &[task, weight] : mix) {
+        total_w += weight;
+        total_tok +=
+            weight * static_cast<double>(task.ctxLen + task.decLen);
+    }
+    return total_w > 0.0 ? cfg.ratePerSec * total_tok / total_w : 0.0;
+}
+
+} // namespace serving
+} // namespace kelle

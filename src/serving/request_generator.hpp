@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Seeded synthetic arrival traces over the §7.1 workload mix.
+ *
+ * Two arrival processes:
+ *  - Poisson: independent exponential inter-arrival times at the
+ *    configured mean rate (steady multi-user traffic);
+ *  - Bursty: a two-state Markov-modulated Poisson process. An "on"
+ *    phase arrives at `burstFactor` times the mean rate, an "off"
+ *    phase at whatever residual rate preserves the long-run mean;
+ *    phase dwells are exponential. This is the classic edge-traffic
+ *    shape (bursts of activity between idle stretches).
+ *
+ * Each arrival samples a task from a weighted mix (default: the four
+ * hardware tasks LA/TQ/QP/PG19 with equal weight), so prompt/decode
+ * lengths and requested KV budgets N' follow the paper's workloads.
+ * Everything is driven by one seeded Rng: a trace is a pure function
+ * of its TrafficConfig.
+ */
+
+#ifndef KELLE_SERVING_REQUEST_GENERATOR_HPP
+#define KELLE_SERVING_REQUEST_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serving/request.hpp"
+#include "sim/workloads.hpp"
+
+namespace kelle {
+namespace serving {
+
+enum class ArrivalProcess
+{
+    Poisson,
+    Bursty,
+};
+
+std::string toString(ArrivalProcess p);
+/** Parse "poisson"/"bursty"; returns false on unknown input. */
+bool parseArrivalProcess(const std::string &text, ArrivalProcess *out);
+
+/** Arrival-trace configuration. */
+struct TrafficConfig
+{
+    double ratePerSec = 0.02; ///< long-run mean arrival rate
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    /** On-phase rate multiplier (Bursty only). */
+    double burstFactor = 4.0;
+    /** Long-run fraction of time spent in the on phase (Bursty). */
+    double burstFraction = 0.25;
+    /** Mean arrivals per on-phase dwell (sets the burst length). */
+    double burstMeanArrivals = 8.0;
+    std::size_t numRequests = 64;
+    std::uint64_t seed = 42;
+    /** Weighted task mix; empty selects hardwareTasks() equally. */
+    std::vector<std::pair<sim::Task, double>> mix;
+};
+
+/**
+ * Generate the arrival trace: `numRequests` requests with strictly
+ * increasing ids, non-decreasing arrival times and sampled tasks.
+ * Deterministic for a fixed config.
+ */
+std::vector<Request> generateTrace(const TrafficConfig &cfg);
+
+/** Mean offered load in tokens/s (prompt + decode) of the mix. */
+double offeredTokensPerSec(const TrafficConfig &cfg);
+
+} // namespace serving
+} // namespace kelle
+
+#endif // KELLE_SERVING_REQUEST_GENERATOR_HPP

@@ -1,0 +1,298 @@
+#include "serving/scheduler.hpp"
+
+#include <algorithm>
+
+#include "accel/capacity.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace kelle {
+namespace serving {
+
+std::string
+toString(RequestState s)
+{
+    switch (s) {
+      case RequestState::Waiting:
+        return "waiting";
+      case RequestState::Prefilling:
+        return "prefilling";
+      case RequestState::Decoding:
+        return "decoding";
+      case RequestState::Completed:
+        return "completed";
+      case RequestState::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Extra slack above the protected regions in the budget floor. */
+constexpr std::size_t kFloorSlackTokens = 8;
+
+AllocatorConfig
+makeAllocatorConfig(const ServingConfig &cfg)
+{
+    AllocatorConfig a;
+    a.bytesPerToken =
+        cfg.model.kvBytesPerToken(cfg.system.kv.kvBits);
+    std::size_t pool = cfg.poolTokens;
+    if (pool == 0) {
+        // §8.4.1: device DRAM net of resident weights bounds the KV
+        // pool shared by all concurrent requests.
+        accel::CapacitySpec spec;
+        spec.dramCapacity = cfg.system.tech.dram.capacity();
+        spec.weightBits = cfg.system.tech.weightBits;
+        spec.kvBits = cfg.system.kv.kvBits;
+        pool = accel::maxSupportedTokens(cfg.model, spec).maxTokens;
+    }
+    KELLE_ASSERT(pool > 0, "KV pool has no room for any token");
+    a.capacityBytes = static_cast<double>(pool) * a.bytesPerToken;
+    a.highWatermark = cfg.highWatermark;
+    return a;
+}
+
+} // namespace
+
+std::string
+toString(SchedulePolicy p)
+{
+    switch (p) {
+      case SchedulePolicy::Fcfs:
+        return "fcfs";
+      case SchedulePolicy::ContinuousBatching:
+        return "contbatch";
+    }
+    return "?";
+}
+
+bool
+parseSchedulePolicy(const std::string &text, SchedulePolicy *out)
+{
+    if (text == "fcfs") {
+        *out = SchedulePolicy::Fcfs;
+        return true;
+    }
+    if (text == "contbatch" || text == "continuous" ||
+        text == "continuous-batching") {
+        *out = SchedulePolicy::ContinuousBatching;
+        return true;
+    }
+    return false;
+}
+
+Scheduler::Scheduler(const ServingConfig &cfg)
+    : cfg_(cfg), allocator_(makeAllocatorConfig(cfg))
+{
+    const std::string err = cfg_.model.validate();
+    KELLE_ASSERT(err.empty(), "bad model config: ", err);
+    KELLE_ASSERT(cfg_.maxBatch > 0, "maxBatch must be positive");
+}
+
+std::size_t
+Scheduler::requestedBudget(const sim::Task &task) const
+{
+    // No-eviction baselines hold the full cache: the request must
+    // reserve its whole ctx+dec footprint (+1 for the in-flight
+    // token) and nothing can be shrunk away.
+    if (!cfg_.system.kv.evict)
+        return task.ctxLen + task.decLen + 1;
+    const std::size_t req =
+        cfg_.budgetOverride ? cfg_.budgetOverride : task.budget;
+    return std::max(req, minBudget(task));
+}
+
+std::size_t
+Scheduler::minBudget(const sim::Task &task) const
+{
+    if (!cfg_.system.kv.evict)
+        return task.ctxLen + task.decLen + 1;
+    return task.sinkTokens + task.recentWindow + kFloorSlackTokens;
+}
+
+ServingReport
+Scheduler::run()
+{
+    requests_ = generateTrace(cfg_.traffic);
+    grants_.assign(requests_.size(), KvBudgetAllocator::Grant{});
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+        queue_.schedule(requests_[i].arrival,
+                        [this, i] { onArrival(i); });
+    }
+    queue_.runAll();
+
+    // Makespan is first arrival to last completion; the idle lead-in
+    // before the first arrival is not serving time.
+    Time makespan;
+    if (lastCompletion_.sec() > 0.0)
+        makespan = lastCompletion_ - requests_.front().arrival;
+
+    ServingReport rep;
+    rep.summary = metrics_.summarize(makespan);
+    rep.decodeSteps = decodeSteps_;
+    rep.prefills = prefills_;
+    rep.poolTokens = allocator_.capacityTokens();
+    rep.poolCapacityBytes = allocator_.capacityBytes();
+    rep.poolPeakBytes = allocator_.peakInUseBytes();
+    rep.shrunkGrants = allocator_.shrunkGrants();
+    rep.deferrals = allocator_.deferrals();
+    rep.drained = !truncated_ && waiting_.empty() &&
+                  admitted_.empty() && running_.empty();
+    return rep;
+}
+
+void
+Scheduler::onArrival(std::size_t idx)
+{
+    waiting_.push_back(idx);
+    metrics_.sampleQueueDepth(waiting_.size());
+    if (cfg_.verbose) {
+        const Request &r = requests_[idx];
+        inform("t=", toString(queue_.now()), " request #", r.id, " [",
+               r.task.name, "] arrived (ctx ", r.task.ctxLen, ", dec ",
+               r.task.decLen, ")");
+    }
+    dispatch();
+}
+
+void
+Scheduler::dispatch()
+{
+    if (engineBusy_ || truncated_)
+        return;
+    admitWaiting();
+    if (!admitted_.empty()) {
+        startPrefill();
+        return;
+    }
+    if (!running_.empty())
+        startDecodeStep();
+}
+
+void
+Scheduler::admitWaiting()
+{
+    while (!waiting_.empty()) {
+        const std::size_t active = admitted_.size() + running_.size();
+        const std::size_t cap =
+            cfg_.policy == SchedulePolicy::Fcfs ? 1 : cfg_.maxBatch;
+        if (active >= cap)
+            break;
+
+        const std::size_t idx = waiting_.front();
+        Request &r = requests_[idx];
+        // requestedBudget() already clamps to >= the floor.
+        const std::size_t requested = requestedBudget(r.task);
+        const std::size_t floor_tokens = minBudget(r.task);
+        auto grant = allocator_.tryAdmit(requested, floor_tokens);
+        if (!grant.admitted) {
+            if (active == 0 && allocator_.inUseBytes() <= 0.0) {
+                // Even an empty pool cannot hold the floor.
+                r.state = RequestState::Rejected;
+                metrics_.onRejected(r);
+                waiting_.pop_front();
+                if (cfg_.verbose)
+                    inform("t=", toString(queue_.now()), " request #",
+                           r.id, " rejected: floor ", floor_tokens,
+                           " tokens exceeds the KV pool");
+                continue;
+            }
+            break; // head-of-line wait for a release
+        }
+
+        waiting_.pop_front();
+        r.state = RequestState::Prefilling;
+        r.admitted = queue_.now();
+        r.budgetRequested = requested;
+        r.budgetGranted = grant.budgetTokens;
+        r.kvBytesReserved = grant.bytes;
+        grants_[idx] = grant;
+        admitted_.push_back(idx);
+        metrics_.sampleQueueDepth(waiting_.size());
+        if (cfg_.verbose)
+            inform("t=", toString(queue_.now()), " request #", r.id,
+                   " admitted, N'=", r.budgetGranted,
+                   r.budgetGranted < requested ? " (shrunk)" : "",
+                   ", pool ",
+                   Table::pct(allocator_.utilization()), " full");
+    }
+}
+
+void
+Scheduler::startPrefill()
+{
+    engineBusy_ = true;
+    const std::size_t idx = admitted_.front();
+    admitted_.pop_front();
+    const Request &r = requests_[idx];
+    const auto step = accel::simulatePrefillStep(cfg_.system, cfg_.model,
+                                                 r.task.ctxLen);
+    metrics_.addEnergy(step.energy);
+    ++prefills_;
+    queue_.scheduleAfter(step.latency, [this, idx] {
+        Request &req = requests_[idx];
+        req.state = RequestState::Decoding;
+        req.firstToken = queue_.now();
+        running_.push_back(idx);
+        if (cfg_.verbose)
+            inform("t=", toString(queue_.now()), " request #", req.id,
+                   " first token (TTFT ",
+                   toString(req.firstToken - req.arrival), "), batch ",
+                   running_.size());
+        engineBusy_ = false;
+        dispatch();
+    });
+}
+
+void
+Scheduler::startDecodeStep()
+{
+    if (cfg_.maxEngineSteps && decodeSteps_ >= cfg_.maxEngineSteps) {
+        truncated_ = true;
+        return;
+    }
+    engineBusy_ = true;
+    ++decodeSteps_;
+    std::vector<std::size_t> resident;
+    resident.reserve(running_.size());
+    for (std::size_t idx : running_)
+        resident.push_back(requests_[idx].residentTokens());
+    const auto step =
+        accel::simulateBatchedDecodeStep(cfg_.system, cfg_.model, resident);
+    metrics_.addEnergy(step.energy);
+    queue_.scheduleAfter(step.latency, [this] {
+        std::vector<std::size_t> still;
+        still.reserve(running_.size());
+        for (std::size_t idx : running_) {
+            Request &r = requests_[idx];
+            ++r.generated;
+            if (r.done())
+                finishRequest(idx);
+            else
+                still.push_back(idx);
+        }
+        running_ = std::move(still);
+        engineBusy_ = false;
+        dispatch();
+    });
+}
+
+void
+Scheduler::finishRequest(std::size_t idx)
+{
+    Request &r = requests_[idx];
+    r.state = RequestState::Completed;
+    r.completed = queue_.now();
+    lastCompletion_ = std::max(lastCompletion_, r.completed);
+    allocator_.release(grants_[idx]);
+    metrics_.onCompleted(r);
+    if (cfg_.verbose)
+        inform("t=", toString(queue_.now()), " request #", r.id,
+               " completed (", r.generated, " tokens, e2e ",
+               toString(r.completed - r.arrival), ")");
+}
+
+} // namespace serving
+} // namespace kelle

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The event-driven multi-request serving engine.
+ *
+ * A `Scheduler` owns a `sim::EventQueue` and plays an arrival trace
+ * through the accelerator one *engine step* at a time. A step is
+ * either one request's prefill (costed by accel::simulatePrefillStep)
+ * or one decode iteration over the current continuous batch (costed by
+ * accel::simulateBatchedDecodeStep, which amortizes the weight stream
+ * across the batch). The accelerator runs one step at a time; work
+ * never overlaps in wall-clock, so policies differ only in how they
+ * pick the next step:
+ *
+ *  - Fcfs: strict run-to-completion. One request at a time gets the
+ *    whole machine: prefill, then decode steps (batch of one) until
+ *    its last token; only then is the next request admitted.
+ *  - ContinuousBatching: iteration-level scheduling. At every step
+ *    boundary, waiting requests are admitted while the KV pool and
+ *    `maxBatch` allow; an admitted request's prefill is inserted
+ *    between decode iterations, after which it joins the decode batch.
+ *    Members leave the batch the moment they finish, releasing their
+ *    KV budget.
+ *
+ * Admission flows through KvBudgetAllocator: a request is admitted
+ * only if its AERP budget N' (possibly shrunk under eviction
+ * pressure) fits in the KV pool, so the pool is never oversubscribed.
+ */
+
+#ifndef KELLE_SERVING_SCHEDULER_HPP
+#define KELLE_SERVING_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "accel/timing_model.hpp"
+#include "model/model_config.hpp"
+#include "serving/kv_budget_allocator.hpp"
+#include "serving/request.hpp"
+#include "serving/request_generator.hpp"
+#include "serving/serving_metrics.hpp"
+#include "sim/event_queue.hpp"
+
+namespace kelle {
+namespace serving {
+
+enum class SchedulePolicy
+{
+    Fcfs,               ///< request-at-a-time run-to-completion
+    ContinuousBatching, ///< iteration-level batching
+};
+
+std::string toString(SchedulePolicy p);
+/** Parse "fcfs"/"contbatch"; returns false on unknown input. */
+bool parseSchedulePolicy(const std::string &text, SchedulePolicy *out);
+
+/** Full configuration of a serving run. */
+struct ServingConfig
+{
+    accel::SystemConfig system = accel::kelleEdramSystem(2048);
+    model::ModelConfig model = model::llama2_7b();
+    TrafficConfig traffic;
+    SchedulePolicy policy = SchedulePolicy::ContinuousBatching;
+
+    /** Decode-batch cap (ContinuousBatching; Fcfs is always 1). */
+    std::size_t maxBatch = 16;
+    /** Per-request budget override; 0 keeps each task's N'. */
+    std::size_t budgetOverride = 0;
+    /**
+     * KV pool size in tokens; 0 derives it from the §8.4.1 capacity
+     * analysis (device DRAM net of resident weights).
+     */
+    std::size_t poolTokens = 0;
+    /** Allocator pressure watermark. */
+    double highWatermark = 0.85;
+    /** Safety cap on engine steps; 0 = run the trace to completion. */
+    std::uint64_t maxEngineSteps = 0;
+    /** inform() per-request lifecycle lines (examples/edge_server). */
+    bool verbose = false;
+};
+
+/** Run outcome: SLO summary plus engine/allocator accounting. */
+struct ServingReport
+{
+    ServingSummary summary;
+    std::uint64_t decodeSteps = 0;
+    std::uint64_t prefills = 0;
+    std::size_t poolTokens = 0;
+    double poolCapacityBytes = 0.0;
+    double poolPeakBytes = 0.0;
+    std::uint64_t shrunkGrants = 0;
+    std::uint64_t deferrals = 0;
+    /** False when maxEngineSteps truncated the run. */
+    bool drained = true;
+};
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(const ServingConfig &cfg);
+
+    /** Generate the trace, drive it to completion, summarize. */
+    ServingReport run();
+
+    /** Per-request records after run() (completed requests only). */
+    const ServingMetrics &metrics() const { return metrics_; }
+
+  private:
+    void onArrival(std::size_t idx);
+    void admitWaiting();
+    void dispatch();
+    void startPrefill();
+    void startDecodeStep();
+    void finishRequest(std::size_t idx);
+    std::size_t requestedBudget(const sim::Task &task) const;
+    std::size_t minBudget(const sim::Task &task) const;
+
+    ServingConfig cfg_;
+    sim::EventQueue queue_;
+    KvBudgetAllocator allocator_;
+    ServingMetrics metrics_;
+
+    std::vector<Request> requests_;
+    std::vector<KvBudgetAllocator::Grant> grants_;
+    std::deque<std::size_t> waiting_;  ///< arrived, not admitted
+    std::deque<std::size_t> admitted_; ///< granted, awaiting prefill
+    std::vector<std::size_t> running_; ///< decode-batch members
+
+    bool engineBusy_ = false;
+    bool truncated_ = false;
+    std::uint64_t decodeSteps_ = 0;
+    std::uint64_t prefills_ = 0;
+    Time lastCompletion_;
+};
+
+} // namespace serving
+} // namespace kelle
+
+#endif // KELLE_SERVING_SCHEDULER_HPP

@@ -1,0 +1,118 @@
+#include "serving/serving_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace serving {
+
+void
+ServingMetrics::onCompleted(const Request &r)
+{
+    KELLE_ASSERT(r.state == RequestState::Completed,
+                 "recording an unfinished request");
+    completed_.push_back(r);
+}
+
+void
+ServingMetrics::onRejected(const Request &r)
+{
+    KELLE_ASSERT(r.state == RequestState::Rejected, "state mismatch");
+    ++rejected_;
+}
+
+void
+ServingMetrics::sampleQueueDepth(std::size_t depth)
+{
+    queueDepthSum_ += static_cast<double>(depth);
+    ++queueDepthSamples_;
+    maxQueueDepth_ = std::max(maxQueueDepth_, depth);
+}
+
+void
+ServingMetrics::addEnergy(const accel::EnergyBreakdown &e)
+{
+    energy_ += e;
+}
+
+double
+ServingMetrics::percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    const double rank = std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 * n);
+    const std::size_t idx = rank < 1.0
+                                ? 0
+                                : static_cast<std::size_t>(rank) - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+ServingSummary
+ServingMetrics::summarize(Time makespan) const
+{
+    ServingSummary s;
+    s.completed = completed_.size();
+    s.rejected = rejected_;
+    s.makespan = makespan;
+    s.energy = energy_;
+    if (queueDepthSamples_ > 0) {
+        s.meanQueueDepth =
+            queueDepthSum_ / static_cast<double>(queueDepthSamples_);
+        s.maxQueueDepth = maxQueueDepth_;
+    }
+    if (completed_.empty())
+        return s;
+
+    std::vector<double> ttft;
+    std::vector<double> e2e;
+    std::vector<double> tpot;
+    double ttft_sum = 0.0;
+    double tpot_sum = 0.0;
+    double tokens = 0.0;
+    double budget_frac_sum = 0.0;
+    for (const auto &r : completed_) {
+        const double t = (r.firstToken - r.arrival).sec();
+        ttft.push_back(t);
+        ttft_sum += t;
+        e2e.push_back((r.completed - r.arrival).sec());
+        if (r.task.decLen > 0) {
+            const double per_tok =
+                (r.completed - r.firstToken).sec() /
+                static_cast<double>(r.task.decLen);
+            tpot.push_back(per_tok);
+            tpot_sum += per_tok;
+        }
+        tokens += static_cast<double>(r.generated);
+        budget_frac_sum +=
+            r.budgetRequested > 0
+                ? static_cast<double>(r.budgetGranted) /
+                      static_cast<double>(r.budgetRequested)
+                : 1.0;
+    }
+    const double n = static_cast<double>(completed_.size());
+    s.ttftMean = ttft_sum / n;
+    s.ttftP50 = percentile(ttft, 50.0);
+    s.ttftP95 = percentile(ttft, 95.0);
+    s.ttftP99 = percentile(ttft, 99.0);
+    s.e2eP50 = percentile(e2e, 50.0);
+    s.e2eP95 = percentile(e2e, 95.0);
+    s.e2eP99 = percentile(e2e, 99.0);
+    s.tpotMean = tpot.empty()
+                     ? 0.0
+                     : tpot_sum / static_cast<double>(tpot.size());
+    s.tpotP50 = percentile(tpot, 50.0);
+    s.tpotP95 = percentile(tpot, 95.0);
+    s.meanBudgetFraction = budget_frac_sum / n;
+    if (makespan.sec() > 0.0)
+        s.goodputTokensPerSec = tokens / makespan.sec();
+    if (tokens > 0.0)
+        s.energyPerToken = energy_.total().j() / tokens;
+    return s;
+}
+
+} // namespace serving
+} // namespace kelle

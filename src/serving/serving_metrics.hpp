@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SLO metrics of a serving run.
+ *
+ * Per-request: TTFT (arrival -> first token, i.e. queueing + admission
+ * + prefill), TPOT (mean decode inter-token time) and end-to-end
+ * latency. Aggregates: nearest-rank p50/p95/p99 percentiles, goodput
+ * (completed decode tokens per second of makespan), queue-depth
+ * summary, and the component-wise energy of every engine step
+ * (the `refresh` component is the aggregate eDRAM refresh energy).
+ *
+ * Percentile convention (nearest-rank): for n ascending samples the
+ * p-th percentile is sample `ceil(p/100 * n)` (1-based), so for 10
+ * samples p50 is the 5th smallest and p99 the 10th. Deterministic and
+ * hand-checkable, which the serving tests rely on.
+ */
+
+#ifndef KELLE_SERVING_SERVING_METRICS_HPP
+#define KELLE_SERVING_SERVING_METRICS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "accel/energy_model.hpp"
+#include "common/units.hpp"
+#include "serving/request.hpp"
+
+namespace kelle {
+namespace serving {
+
+/** Aggregate results of one serving run. */
+struct ServingSummary
+{
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    Time makespan; ///< first arrival to last completion
+
+    /** TTFT percentiles/mean in seconds. */
+    double ttftMean = 0.0;
+    double ttftP50 = 0.0;
+    double ttftP95 = 0.0;
+    double ttftP99 = 0.0;
+
+    /** End-to-end (arrival -> completion) percentiles in seconds. */
+    double e2eP50 = 0.0;
+    double e2eP95 = 0.0;
+    double e2eP99 = 0.0;
+
+    /** Seconds per decode token across completed requests. */
+    double tpotMean = 0.0;
+    double tpotP50 = 0.0;
+    double tpotP95 = 0.0;
+
+    /** Completed decode tokens per second of makespan. */
+    double goodputTokensPerSec = 0.0;
+
+    double meanQueueDepth = 0.0;
+    std::size_t maxQueueDepth = 0;
+
+    /** Mean granted/requested budget ratio (1.0 = no pressure). */
+    double meanBudgetFraction = 1.0;
+
+    /** Energy of all engine steps; `.refresh` is the aggregate eDRAM
+     *  refresh energy. */
+    accel::EnergyBreakdown energy;
+    double energyPerToken = 0.0; ///< J per completed decode token
+};
+
+class ServingMetrics
+{
+  public:
+    /** Record a finished request (state Completed, timestamps set). */
+    void onCompleted(const Request &r);
+    /** Record a request the pool can never fit. */
+    void onRejected(const Request &r);
+    /** Sample the admission-queue depth (on arrivals/admissions). */
+    void sampleQueueDepth(std::size_t depth);
+    /** Accumulate one engine step's energy. */
+    void addEnergy(const accel::EnergyBreakdown &e);
+
+    /** Nearest-rank percentile, p in [0, 100]. Copies and sorts. */
+    static double percentile(std::vector<double> samples, double p);
+
+    ServingSummary summarize(Time makespan) const;
+
+    const std::vector<Request> &completedRequests() const
+    {
+        return completed_;
+    }
+
+  private:
+    std::vector<Request> completed_;
+    std::size_t rejected_ = 0;
+    accel::EnergyBreakdown energy_;
+    double queueDepthSum_ = 0.0;
+    std::size_t queueDepthSamples_ = 0;
+    std::size_t maxQueueDepth_ = 0;
+};
+
+} // namespace serving
+} // namespace kelle
+
+#endif // KELLE_SERVING_SERVING_METRICS_HPP
