@@ -14,6 +14,7 @@
 
 #include "bench_util.hpp"
 #include "common/arg_parser.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "edram/fault_model.hpp"
 #include "sim/experiments.hpp"
@@ -52,35 +53,57 @@ main(int argc, char **argv)
         sim::scaledForTiny(sim::lambada(), seq ? seq : 128),
     };
 
-    for (const auto &mc : models) {
-        for (const auto &task : tasks) {
-            bench::banner("Table 2: " + mc.cfg.name + " on " + task.name);
-            sim::AccuracyBench bench_ctx(task, mc.seed, mc.cfg);
+    // The model x task cells are independent seeded substrates:
+    // evaluate them across the machine with parallelFor, print in
+    // serial order — output is bit-identical to the serial sweep.
+    struct Cell
+    {
+        const ModelCase *model;
+        const sim::Task *task;
+        std::vector<std::vector<std::string>> rows;
+    };
+    std::vector<Cell> cells;
+    for (const auto &mc : models)
+        for (const auto &task : tasks)
+            cells.push_back({&mc, &task, {}});
 
-            Table t({"method", "PPL (down)", "Agreement@1 (up)",
-                     "KV bytes vs full"});
-            const auto full = bench_ctx.run(kv::makeFullConfig());
-            const double full_bytes = full.residentKvBytes;
-            auto row = [&](const std::string &name,
-                           const model::PolicyEval &e) {
-                t.addRow({name, Table::num(e.perplexity, 3),
-                          Table::pct(e.agreementTop1),
-                          Table::pct(e.residentKvBytes / full_bytes)});
-            };
-            row("FP16 (full)", full);
+    common::parallelFor(cells.size(), [&](std::size_t i) {
+        Cell &cell = cells[i];
+        const ModelCase &mc = *cell.model;
+        const sim::Task &task = *cell.task;
+        sim::AccuracyBench bench_ctx(task, mc.seed, mc.cfg);
 
-            row("StreamingLLM",
-                bench_ctx.run(
-                    sim::cacheConfigFor(task, kv::Policy::Streaming)));
-            row("H2O", bench_ctx.run(
-                           sim::cacheConfigFor(task, kv::Policy::H2O)));
-            row("QuaRot KV4", bench_ctx.run(kv::makeQuaRotConfig()));
+        const auto full = bench_ctx.run(kv::makeFullConfig());
+        const double full_bytes = full.residentKvBytes;
+        auto row = [&](const std::string &name,
+                       const model::PolicyEval &e) {
+            cell.rows.push_back(
+                {name, Table::num(e.perplexity, 3),
+                 Table::pct(e.agreementTop1),
+                 Table::pct(e.residentKvBytes / full_bytes)});
+        };
+        row("FP16 (full)", full);
 
-            auto kelle_cfg = sim::cacheConfigFor(task, kv::Policy::Aerp);
-            edram::RefreshFaultModel faults(refresh, mc.seed + 7);
-            row("Kelle (AERP+2DRP)", bench_ctx.run(kelle_cfg, &faults));
-            t.print();
-        }
+        row("StreamingLLM",
+            bench_ctx.run(
+                sim::cacheConfigFor(task, kv::Policy::Streaming)));
+        row("H2O",
+            bench_ctx.run(sim::cacheConfigFor(task, kv::Policy::H2O)));
+        row("QuaRot KV4", bench_ctx.run(kv::makeQuaRotConfig()));
+
+        auto kelle_cfg = sim::cacheConfigFor(task, kv::Policy::Aerp);
+        edram::RefreshFaultModel faults(refresh, mc.seed + 7);
+        row("Kelle (AERP+2DRP)", bench_ctx.run(kelle_cfg, &faults));
+    });
+
+    for (const auto &cell : cells) {
+        bench::banner("Table 2: " + cell.model->cfg.name + " on " +
+                      cell.task->name);
+        Table t({"method", "PPL (down)", "Agreement@1 (up)",
+                 "KV bytes vs full"});
+        for (const auto &r : cell.rows)
+            t.addRow(r);
+        t.print();
     }
 
     bench::note("paper Table 2 shape: Kelle ~ H2O ~ QuaRot ~ FP16, all "

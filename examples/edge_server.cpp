@@ -26,11 +26,14 @@ main(int argc, char **argv)
     common::ArgParser args("edge_server",
                            "narrated multi-user edge serving session");
     args.addDouble("rate", 0.05, "mean arrival rate in req/s");
-    args.addString("policy", "contbatch", "fcfs | contbatch");
+    args.addString("policy", "contbatch",
+                   serving::schedulePolicyNames());
+    args.addInt("chunk-tokens", 0,
+                "prefill chunk size (0 = whole prompt per step)");
     args.addInt("requests", 12, "number of user requests");
     args.addInt("seed", 7, "arrival-trace seed");
     args.addInt("budget", 0, "per-request KV budget N' (0 = task N')");
-    args.addInt("steps", 0, "max decode steps (0 = run to completion)");
+    args.addInt("steps", 0, "max engine steps (0 = run to completion)");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -41,10 +44,12 @@ main(int argc, char **argv)
     cfg.traffic.process = serving::ArrivalProcess::Bursty;
     cfg.budgetOverride = args.getSize("budget");
     cfg.maxEngineSteps = args.getSize("steps");
+    cfg.chunkTokens = args.getSize("chunk-tokens");
     if (!serving::parseSchedulePolicy(args.getString("policy"),
                                       &cfg.policy)) {
-        std::fprintf(stderr, "unknown --policy '%s' (fcfs|contbatch)\n",
-                     args.getString("policy").c_str());
+        std::fprintf(stderr, "unknown --policy '%s' (%s)\n",
+                     args.getString("policy").c_str(),
+                     serving::schedulePolicyNames().c_str());
         return 1;
     }
     // A pool of ~6 concurrent TQ-sized budgets: small enough that a
@@ -72,6 +77,14 @@ main(int argc, char **argv)
                                     " / " +
                                     toString(Time::seconds(s.ttftP95))});
     t.addRow({"TPOT mean", toString(Time::seconds(s.tpotMean))});
+    t.addRow({"decode stall p95", toString(Time::seconds(s.tokenGapP95))});
+    t.addRow({"SLO attainment (TTFT / TPOT / both)",
+              Table::pct(s.sloTtftAttainment) + " / " +
+                  Table::pct(s.sloTpotAttainment) + " / " +
+                  Table::pct(s.sloAttainment)});
+    t.addRow({"admission bypasses / max queue wait",
+              std::to_string(s.admissionBypasses) + " / " +
+                  toString(Time::seconds(s.maxQueueWaitSec))});
     t.addRow({"goodput", Table::num(s.goodputTokensPerSec, 1) + " tok/s"});
     t.addRow({"queue depth mean / max",
               Table::num(s.meanQueueDepth, 1) + " / " +

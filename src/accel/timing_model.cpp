@@ -229,32 +229,48 @@ decodeStepCosts(const SystemConfig &sys, const Workload &w, std::size_t t)
     return c;
 }
 
-/** Full prefill resource costs (batch-wide, all layers). */
+/**
+ * Resource costs of one prefill chunk: the `chunk` prompt tokens at KV
+ * offset `offset` (batch-wide, all layers). Queries attend causally
+ * over all `offset + chunk` resident tokens, so per-chunk attention
+ * terms telescope — summed over a prompt's chunks they equal the
+ * whole-prompt prefill — while the weight stream is charged in full
+ * per chunk. `offset == 0`, `chunk == ctxLen` is the monolithic
+ * prefill.
+ */
 StepCosts
-prefillCosts(const SystemConfig &sys, const Workload &w)
+prefillChunkCosts(const SystemConfig &sys, const Workload &w,
+                  std::size_t offset, std::size_t chunk)
 {
     const auto &tech = sys.tech;
     const double B = static_cast<double>(w.batch);
     const double L = static_cast<double>(w.model.layers);
+    const double n_new = static_cast<double>(chunk);
+    const double n_ctx = static_cast<double>(offset + chunk);
+    const double n_old = static_cast<double>(offset);
     StepCosts c;
-    double macs = B * w.model.macsPrefill(w.ctxLen);
+    // Causal attention telescopes: this chunk's MACs are the
+    // whole-prefix cost minus the already-prefilled prefix's cost.
+    double macs = B * (w.model.macsPrefill(offset + chunk) -
+                       w.model.macsPrefill(offset));
     if (sys.prefillAttnSparsity > 0.0) {
         macs -= sys.prefillAttnSparsity * B *
-                w.model.macsPrefillAttention(w.ctxLen);
+                (w.model.macsPrefillAttention(offset + chunk) -
+                 w.model.macsPrefillAttention(offset));
     }
     c.macs = macs;
 
     const double w_bytes = w.model.weightBytes(tech.weightBits);
     // Per-layer activation round trips that overflow the buffer.
-    const double act_layer = B * static_cast<double>(w.ctxLen) *
+    const double act_layer = B * n_new *
                              static_cast<double>(w.model.dModel) * 2.0;
     double act_spill = 0.0;
     if (act_layer > tech.actBuffer.capacity().b())
         act_spill = 2.0 * act_layer * L;
     // FlashAttention-style IO for the quadratic attention: query
-    // blocks sized by on-chip capacity re-stream K/V per block, so
-    // prefill attention traffic scales inversely with capacity.
-    const double n_ctx = static_cast<double>(w.ctxLen);
+    // blocks sized by on-chip capacity re-stream the full resident K/V
+    // per block, so prefill attention traffic scales inversely with
+    // capacity (and a chunk at a deep offset re-reads a long prefix).
     const double row_bytes =
         4.0 * static_cast<double>(w.model.dModel) * 2.0;
     const double block_rows = std::max(
@@ -262,19 +278,19 @@ prefillCosts(const SystemConfig &sys, const Workload &w)
     const double kv_layer_bytes =
         n_ctx * static_cast<double>(w.model.dKv()) * 2.0 * 2.0;
     const double attn_reread =
-        B * L * std::ceil(n_ctx / block_rows) * kv_layer_bytes;
+        B * L * std::ceil(n_new / block_rows) * kv_layer_bytes;
     const double kv_written =
-        B * static_cast<double>(w.ctxLen) *
-        w.model.kvBytesPerToken(sys.kv.kvBits);
+        B * n_new * w.model.kvBytesPerToken(sys.kv.kvBits);
     c.dramBytes = w_bytes + act_spill + attn_reread + kv_written;
     c.onChipKvBytes = 2.0 * (kv_written + attn_reread);
+    // Softmax rows telescope like the MACs (n_ctx^2 - n_old^2); the
+    // norm/activation ops are linear in the chunk's tokens.
     c.sfuOps = B * L *
                (static_cast<double>(w.model.nHeads) *
-                    static_cast<double>(w.ctxLen) *
-                    static_cast<double>(w.ctxLen) +
+                    (n_ctx * n_ctx - n_old * n_old) +
                 (4.0 * static_cast<double>(w.model.dModel) +
                  static_cast<double>(w.model.dFfn)) *
-                    static_cast<double>(w.ctxLen));
+                    n_new);
 
     c.phases.dram =
         Time::seconds(c.dramBytes / (tech.dram.bandwidth().value *
@@ -290,6 +306,13 @@ prefillCosts(const SystemConfig &sys, const Workload &w)
         c.sfuOps / (static_cast<double>(tech.sfu.lanes) *
                     tech.rsa.clockHz));
     return c;
+}
+
+/** Full prefill resource costs (batch-wide, all layers). */
+StepCosts
+prefillCosts(const SystemConfig &sys, const Workload &w)
+{
+    return prefillChunkCosts(sys, w, 0, w.ctxLen);
 }
 
 /** Accumulate the energy of one phase given its latency and costs. */
@@ -492,6 +515,22 @@ simulatePrefillStep(const SystemConfig &sys, const model::ModelConfig &m,
     w.decLen = 1;
     w.batch = 1;
     return finishStep(sys, w, prefillCosts(sys, w), false);
+}
+
+StepReport
+simulatePrefillChunk(const SystemConfig &sys, const model::ModelConfig &m,
+                     std::size_t kv_offset, std::size_t chunk_len)
+{
+    KELLE_ASSERT(chunk_len > 0, "empty prefill chunk");
+    Workload w;
+    w.name = "prefill-chunk";
+    w.model = m;
+    w.ctxLen = kv_offset + chunk_len;
+    w.decLen = 1;
+    w.batch = 1;
+    return finishStep(sys, w,
+                      prefillChunkCosts(sys, w, kv_offset, chunk_len),
+                      false);
 }
 
 StepReport

@@ -162,6 +162,23 @@ StepReport simulatePrefillStep(const SystemConfig &sys,
                                std::size_t ctx_len);
 
 /**
+ * One fixed-size chunk of a request's prefill (Sarathi-style chunked
+ * prefill): the `chunk_len` prompt tokens starting at KV offset
+ * `kv_offset` run as their own engine step, attending causally over
+ * all `kv_offset + chunk_len` tokens resident so far. Compute and KV
+ * traffic telescope exactly — summed over a prompt's chunks the MACs,
+ * SFU ops and KV writes equal the single-shot prefill — but the full
+ * weight stream is charged once *per chunk*, which is the price of
+ * interleaving chunks with decode iterations. A single chunk covering
+ * the whole prompt (`kv_offset == 0`, `chunk_len == ctx_len`) is
+ * bit-identical to simulatePrefillStep.
+ */
+StepReport simulatePrefillChunk(const SystemConfig &sys,
+                                const model::ModelConfig &m,
+                                std::size_t kv_offset,
+                                std::size_t chunk_len);
+
+/**
  * One decode step over a continuous batch. `resident_tokens` holds the
  * per-sequence KV-resident token count at attention time; the weight
  * stream is fetched once and amortized across every member sequence,

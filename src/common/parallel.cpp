@@ -1,0 +1,69 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kelle {
+namespace common {
+
+std::size_t
+defaultParallelism()
+{
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void
+parallelFor(std::size_t n, std::size_t threads,
+            const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    std::size_t workers = threads ? threads : defaultParallelism();
+    workers = std::min(workers, n);
+    if (n == 1 || workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    try {
+        for (std::size_t t = 1; t < workers; ++t)
+            pool.emplace_back(drain);
+    } catch (const std::system_error &) {
+        // Spawn failed (thread limits): the workers that did start
+        // plus the calling thread still drain every iteration.
+    }
+    drain(); // the calling thread is worker 0
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace common
+} // namespace kelle

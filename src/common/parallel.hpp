@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A minimal parallel-for for embarrassingly parallel sweep cells.
+ *
+ * `parallelFor(n, threads, body)` runs `body(i)` for every `i` in
+ * `[0, n)` on a transient pool of worker threads. Iterations are
+ * claimed from a shared atomic counter, so every index executes
+ * exactly once whatever the interleaving; a caller that writes cell
+ * `i`'s result only into slot `i` of a preallocated output therefore
+ * gets results *bit-identical to the serial loop* — which is how the
+ * bench harnesses keep their seeded sweeps deterministic while using
+ * every core. The first exception thrown by any iteration is captured
+ * and rethrown on the calling thread after all workers join.
+ */
+
+#ifndef KELLE_COMMON_PARALLEL_HPP
+#define KELLE_COMMON_PARALLEL_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace kelle {
+namespace common {
+
+/** Hardware concurrency, clamped to at least 1. */
+std::size_t defaultParallelism();
+
+/**
+ * Run `body(i)` for every i in [0, n) across up to `threads` workers
+ * (0 = defaultParallelism()). Runs serially on the calling thread when
+ * n <= 1 or only one worker is requested. Blocks until every
+ * iteration finished; rethrows the first worker exception.
+ */
+void parallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)> &body);
+
+/** parallelFor with the default worker count. */
+inline void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    parallelFor(n, 0, body);
+}
+
+} // namespace common
+} // namespace kelle
+
+#endif // KELLE_COMMON_PARALLEL_HPP

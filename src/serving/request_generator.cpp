@@ -119,6 +119,8 @@ generateTrace(const TrafficConfig &cfg)
             r.id = trace.size();
             r.task = sampleTask(rng, mix);
             r.arrival = Time::seconds(now);
+            r.ttftDeadlineSec = cfg.slo.ttftDeadlineSec(r.task.ctxLen);
+            r.tpotTargetSec = std::max(0.0, cfg.slo.tpotSec);
             trace.push_back(r);
         } else {
             now = phase_end;
@@ -128,6 +130,15 @@ generateTrace(const TrafficConfig &cfg)
         }
     }
     return trace;
+}
+
+std::vector<std::pair<sim::Task, double>>
+pg19HeavyMix()
+{
+    std::vector<std::pair<sim::Task, double>> mix;
+    for (const auto &t : sim::hardwareTasks())
+        mix.emplace_back(t, t.name == sim::pg19().name ? 4.0 : 1.0);
+    return mix;
 }
 
 double

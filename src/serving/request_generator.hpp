@@ -42,6 +42,33 @@ std::string toString(ArrivalProcess p);
 /** Parse "poisson"/"bursty"; returns false on unknown input. */
 bool parseArrivalProcess(const std::string &text, ArrivalProcess *out);
 
+/**
+ * Per-request SLO targets, resolved per task at trace generation. The
+ * TTFT deadline scales with the prompt so long-context tasks (QP,
+ * PG19) get proportionally more prefill headroom than chat-sized ones
+ * (LA), which is what makes deadline-aware policies meaningful across
+ * the mix. Zeroing a field disables that criterion.
+ */
+struct SloSpec
+{
+    /** Flat TTFT allowance in seconds (queueing + scheduling). */
+    double ttftBaseSec = 10.0;
+    /** Extra TTFT allowance per prompt token (prefill-rate target). */
+    double ttftPerCtxTokenSec = 0.02;
+    /** TPOT target: mean seconds per decode token. */
+    double tpotSec = 0.5;
+
+    /** The TTFT deadline (seconds after arrival) of a ctx_len prompt. */
+    double
+    ttftDeadlineSec(std::size_t ctx_len) const
+    {
+        if (ttftBaseSec <= 0.0 && ttftPerCtxTokenSec <= 0.0)
+            return 0.0;
+        return ttftBaseSec +
+               ttftPerCtxTokenSec * static_cast<double>(ctx_len);
+    }
+};
+
 /** Arrival-trace configuration. */
 struct TrafficConfig
 {
@@ -57,6 +84,8 @@ struct TrafficConfig
     std::uint64_t seed = 42;
     /** Weighted task mix; empty selects hardwareTasks() equally. */
     std::vector<std::pair<sim::Task, double>> mix;
+    /** Per-task TTFT/TPOT deadlines stamped on every request. */
+    SloSpec slo;
 };
 
 /**
@@ -68,6 +97,13 @@ std::vector<Request> generateTrace(const TrafficConfig &cfg);
 
 /** Mean offered load in tokens/s (prompt + decode) of the mix. */
 double offeredTokensPerSec(const TrafficConfig &cfg);
+
+/**
+ * The §7.1 mix tilted toward PG19 (weight 4, the rest 1): long-decode
+ * requests dominate the pool and the batch, the setting where chunked
+ * prefill and deadline-aware admission pay off.
+ */
+std::vector<std::pair<sim::Task, double>> pg19HeavyMix();
 
 } // namespace serving
 } // namespace kelle

@@ -56,35 +56,9 @@ makeAllocatorConfig(const ServingConfig &cfg)
 
 } // namespace
 
-std::string
-toString(SchedulePolicy p)
-{
-    switch (p) {
-      case SchedulePolicy::Fcfs:
-        return "fcfs";
-      case SchedulePolicy::ContinuousBatching:
-        return "contbatch";
-    }
-    return "?";
-}
-
-bool
-parseSchedulePolicy(const std::string &text, SchedulePolicy *out)
-{
-    if (text == "fcfs") {
-        *out = SchedulePolicy::Fcfs;
-        return true;
-    }
-    if (text == "contbatch" || text == "continuous" ||
-        text == "continuous-batching") {
-        *out = SchedulePolicy::ContinuousBatching;
-        return true;
-    }
-    return false;
-}
-
 Scheduler::Scheduler(const ServingConfig &cfg)
-    : cfg_(cfg), allocator_(makeAllocatorConfig(cfg))
+    : cfg_(cfg), allocator_(makeAllocatorConfig(cfg)),
+      policy_(makePolicy(cfg.policy))
 {
     const std::string err = cfg_.model.validate();
     KELLE_ASSERT(err.empty(), "bad model config: ", err);
@@ -112,6 +86,14 @@ Scheduler::minBudget(const sim::Task &task) const
     return task.sinkTokens + task.recentWindow + kFloorSlackTokens;
 }
 
+EngineView
+Scheduler::view() const
+{
+    return EngineView{queue_.now(), requests_,       waiting_,
+                      admitted_,    running_,        cfg_.maxBatch,
+                      cfg_.chunkTokens, lastStep_};
+}
+
 ServingReport
 Scheduler::run()
 {
@@ -131,7 +113,9 @@ Scheduler::run()
 
     ServingReport rep;
     rep.summary = metrics_.summarize(makespan);
+    rep.engineSteps = engineSteps_;
     rep.decodeSteps = decodeSteps_;
+    rep.prefillChunks = prefillChunks_;
     rep.prefills = prefills_;
     rep.poolTokens = allocator_.capacityTokens();
     rep.poolCapacityBytes = allocator_.capacityBytes();
@@ -152,7 +136,8 @@ Scheduler::onArrival(std::size_t idx)
         const Request &r = requests_[idx];
         inform("t=", toString(queue_.now()), " request #", r.id, " [",
                r.task.name, "] arrived (ctx ", r.task.ctxLen, ", dec ",
-               r.task.decLen, ")");
+               r.task.decLen, ", TTFT deadline ",
+               toString(Time::seconds(r.ttftDeadlineSec)), ")");
     }
     dispatch();
 }
@@ -163,46 +148,72 @@ Scheduler::dispatch()
     if (engineBusy_ || truncated_)
         return;
     admitWaiting();
-    if (!admitted_.empty()) {
-        startPrefill();
+    const EngineStepPlan plan = policy_->nextStep(view());
+    if (plan.kind == EngineStepKind::Idle)
+        return;
+    if (cfg_.maxEngineSteps && engineSteps_ >= cfg_.maxEngineSteps) {
+        truncated_ = true;
         return;
     }
-    if (!running_.empty())
-        startDecodeStep();
+    lastStep_ = plan.kind;
+    ++engineSteps_;
+    if (plan.kind == EngineStepKind::PrefillChunk)
+        runPrefillChunk(plan);
+    else
+        runDecodeStep(plan);
+}
+
+void
+Scheduler::rejectRequest(std::size_t idx, std::size_t floor_tokens)
+{
+    Request &r = requests_[idx];
+    r.state = RequestState::Rejected;
+    metrics_.onRejected(r);
+    if (cfg_.verbose)
+        inform("t=", toString(queue_.now()), " request #", r.id,
+               " rejected: floor ", floor_tokens,
+               " tokens exceeds the KV pool");
 }
 
 void
 Scheduler::admitWaiting()
 {
-    while (!waiting_.empty()) {
-        const std::size_t active = admitted_.size() + running_.size();
-        const std::size_t cap =
-            cfg_.policy == SchedulePolicy::Fcfs ? 1 : cfg_.maxBatch;
-        if (active >= cap)
+    // Under overload the batch sits at cap on most steps: skip the
+    // order computation (an O(W log W) sort for the reordering
+    // policies) before it could admit anything.
+    const std::size_t cap = policy_->admissionCap(cfg_.maxBatch);
+    if (waiting_.empty() || admitted_.size() + running_.size() >= cap)
+        return;
+    // Snapshot the policy's admission order; entries leave `waiting_`
+    // only through this loop, so each is attempted at most once.
+    const std::vector<std::size_t> order =
+        policy_->admissionOrder(view());
+    std::vector<std::size_t> admitted_now;
+    for (std::size_t idx : order) {
+        if (admitted_.size() + running_.size() >= cap)
             break;
 
-        const std::size_t idx = waiting_.front();
         Request &r = requests_[idx];
         // requestedBudget() already clamps to >= the floor.
         const std::size_t requested = requestedBudget(r.task);
         const std::size_t floor_tokens = minBudget(r.task);
+        if (floor_tokens > allocator_.capacityTokens()) {
+            // Even an empty pool could never hold the floor.
+            rejectRequest(idx, floor_tokens);
+            waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
+                                     idx));
+            continue;
+        }
         auto grant = allocator_.tryAdmit(requested, floor_tokens);
         if (!grant.admitted) {
-            if (active == 0 && allocator_.inUseBytes() <= 0.0) {
-                // Even an empty pool cannot hold the floor.
-                r.state = RequestState::Rejected;
-                metrics_.onRejected(r);
-                waiting_.pop_front();
-                if (cfg_.verbose)
-                    inform("t=", toString(queue_.now()), " request #",
-                           r.id, " rejected: floor ", floor_tokens,
-                           " tokens exceeds the KV pool");
-                continue;
-            }
-            break; // head-of-line wait for a release
+            if (policy_->skipBlocked())
+                continue; // later candidates may still fit
+            break;        // head-of-line wait for a release
         }
 
-        waiting_.pop_front();
+        waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
+                                 idx));
+        admitted_now.push_back(idx);
         r.state = RequestState::Prefilling;
         r.admitted = queue_.now();
         r.budgetRequested = requested;
@@ -218,62 +229,84 @@ Scheduler::admitWaiting()
                    ", pool ",
                    Table::pct(allocator_.utilization()), " full");
     }
+
+    // Starvation accounting, settled after the round: an admission
+    // overtook only the earlier arrivals it left *still waiting* —
+    // requests admitted later in the same round at the same timestamp
+    // lost nothing and are not counted.
+    for (std::size_t idx : admitted_now) {
+        std::size_t overtaken = 0;
+        for (std::size_t w : waiting_)
+            overtaken += requests_[w].id < requests_[idx].id ? 1 : 0;
+        if (overtaken > 0)
+            metrics_.onBypass(overtaken);
+    }
 }
 
 void
-Scheduler::startPrefill()
+Scheduler::runPrefillChunk(const EngineStepPlan &plan)
 {
     engineBusy_ = true;
-    const std::size_t idx = admitted_.front();
-    admitted_.pop_front();
+    ++prefillChunks_;
+    const std::size_t idx = plan.requestIdx;
     const Request &r = requests_[idx];
-    const auto step = accel::simulatePrefillStep(cfg_.system, cfg_.model,
-                                                 r.task.ctxLen);
+    KELLE_ASSERT(plan.chunkTokens > 0 &&
+                     plan.chunkTokens <= r.remainingPrompt(),
+                 "policy planned an invalid prefill chunk");
+    const auto step = accel::simulatePrefillChunk(
+        cfg_.system, cfg_.model, r.prefilled, plan.chunkTokens);
     metrics_.addEnergy(step.energy);
-    ++prefills_;
-    queue_.scheduleAfter(step.latency, [this, idx] {
-        Request &req = requests_[idx];
-        req.state = RequestState::Decoding;
-        req.firstToken = queue_.now();
-        running_.push_back(idx);
-        if (cfg_.verbose)
-            inform("t=", toString(queue_.now()), " request #", req.id,
-                   " first token (TTFT ",
-                   toString(req.firstToken - req.arrival), "), batch ",
-                   running_.size());
-        engineBusy_ = false;
-        dispatch();
-    });
+    queue_.scheduleAfter(
+        step.latency, [this, idx, tokens = plan.chunkTokens] {
+            Request &req = requests_[idx];
+            req.prefilled += tokens;
+            if (req.prefillDone()) {
+                admitted_.erase(std::find(admitted_.begin(),
+                                          admitted_.end(), idx));
+                req.state = RequestState::Decoding;
+                req.firstToken = queue_.now();
+                req.lastToken = req.firstToken;
+                running_.push_back(idx);
+                ++prefills_;
+                if (cfg_.verbose)
+                    inform("t=", toString(queue_.now()), " request #",
+                           req.id, " first token (TTFT ",
+                           toString(req.firstToken - req.arrival),
+                           ", ", metrics_.metTtft(req) ? "met"
+                                                       : "missed",
+                           " deadline), batch ", running_.size());
+            }
+            engineBusy_ = false;
+            dispatch();
+        });
 }
 
 void
-Scheduler::startDecodeStep()
+Scheduler::runDecodeStep(const EngineStepPlan &plan)
 {
-    if (cfg_.maxEngineSteps && decodeSteps_ >= cfg_.maxEngineSteps) {
-        truncated_ = true;
-        return;
-    }
     engineBusy_ = true;
     ++decodeSteps_;
     std::vector<std::size_t> resident;
-    resident.reserve(running_.size());
-    for (std::size_t idx : running_)
+    resident.reserve(plan.decodeBatch.size());
+    for (std::size_t idx : plan.decodeBatch)
         resident.push_back(requests_[idx].residentTokens());
     const auto step =
         accel::simulateBatchedDecodeStep(cfg_.system, cfg_.model, resident);
     metrics_.addEnergy(step.energy);
-    queue_.scheduleAfter(step.latency, [this] {
-        std::vector<std::size_t> still;
-        still.reserve(running_.size());
-        for (std::size_t idx : running_) {
+    queue_.scheduleAfter(step.latency, [this,
+                                        batch = plan.decodeBatch] {
+        for (std::size_t idx : batch) {
             Request &r = requests_[idx];
             ++r.generated;
-            if (r.done())
+            r.maxTokenGapSec = std::max(
+                r.maxTokenGapSec, (queue_.now() - r.lastToken).sec());
+            r.lastToken = queue_.now();
+            if (r.done()) {
                 finishRequest(idx);
-            else
-                still.push_back(idx);
+                running_.erase(std::find(running_.begin(),
+                                         running_.end(), idx));
+            }
         }
-        running_ = std::move(still);
         engineBusy_ = false;
         dispatch();
     });

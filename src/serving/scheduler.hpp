@@ -1,29 +1,32 @@
 /**
  * @file
- * The event-driven multi-request serving engine.
+ * The engine-step executor of the serving pipeline.
+ *
+ * The serving engine is split into three parts (see policy.hpp and
+ * serving_metrics.hpp for the other two):
+ *
+ *   Policy  --EngineStepPlan-->  Scheduler (executor)  -->  Metrics
  *
  * A `Scheduler` owns a `sim::EventQueue` and plays an arrival trace
- * through the accelerator one *engine step* at a time. A step is
- * either one request's prefill (costed by accel::simulatePrefillStep)
- * or one decode iteration over the current continuous batch (costed by
- * accel::simulateBatchedDecodeStep, which amortizes the weight stream
- * across the batch). The accelerator runs one step at a time; work
- * never overlaps in wall-clock, so policies differ only in how they
- * pick the next step:
- *
- *  - Fcfs: strict run-to-completion. One request at a time gets the
- *    whole machine: prefill, then decode steps (batch of one) until
- *    its last token; only then is the next request admitted.
- *  - ContinuousBatching: iteration-level scheduling. At every step
- *    boundary, waiting requests are admitted while the KV pool and
- *    `maxBatch` allow; an admitted request's prefill is inserted
- *    between decode iterations, after which it joins the decode batch.
- *    Members leave the batch the moment they finish, releasing their
- *    KV budget.
+ * through the accelerator one *engine step* at a time. At every step
+ * boundary it (1) offers waiting requests to the KvBudgetAllocator in
+ * the order its `Policy` chose — either head-of-line (FIFO policies)
+ * or skip-blocked (reordering policies, which bypass a request whose
+ * budget does not fit and charge an admission-bypass counter for every
+ * earlier arrival they overtake) — and (2) executes the step the
+ * policy planned: one request's next prefill *chunk* (costed by
+ * accel::simulatePrefillChunk at the request's current KV offset, so
+ * long prompts can interleave with decode Sarathi-style) or one decode
+ * iteration over the continuous batch (accel::simulateBatchedDecodeStep,
+ * which amortizes the weight stream across the batch). The accelerator
+ * runs one step at a time; work never overlaps in wall-clock, so
+ * policies differ only in the plans they emit.
  *
  * Admission flows through KvBudgetAllocator: a request is admitted
  * only if its AERP budget N' (possibly shrunk under eviction
  * pressure) fits in the KV pool, so the pool is never oversubscribed.
+ * A request whose protected floor exceeds the whole pool is rejected
+ * immediately.
  */
 
 #ifndef KELLE_SERVING_SCHEDULER_HPP
@@ -31,12 +34,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "accel/timing_model.hpp"
 #include "model/model_config.hpp"
+#include "serving/engine_step.hpp"
 #include "serving/kv_budget_allocator.hpp"
+#include "serving/policy.hpp"
 #include "serving/request.hpp"
 #include "serving/request_generator.hpp"
 #include "serving/serving_metrics.hpp"
@@ -44,16 +50,6 @@
 
 namespace kelle {
 namespace serving {
-
-enum class SchedulePolicy
-{
-    Fcfs,               ///< request-at-a-time run-to-completion
-    ContinuousBatching, ///< iteration-level batching
-};
-
-std::string toString(SchedulePolicy p);
-/** Parse "fcfs"/"contbatch"; returns false on unknown input. */
-bool parseSchedulePolicy(const std::string &text, SchedulePolicy *out);
 
 /** Full configuration of a serving run. */
 struct ServingConfig
@@ -63,8 +59,15 @@ struct ServingConfig
     TrafficConfig traffic;
     SchedulePolicy policy = SchedulePolicy::ContinuousBatching;
 
-    /** Decode-batch cap (ContinuousBatching; Fcfs is always 1). */
+    /** Decode-batch cap (Fcfs always serves one request). */
     std::size_t maxBatch = 16;
+    /**
+     * Prefill chunk size in prompt tokens; 0 runs each prompt as one
+     * monolithic step. Smaller chunks let policies preempt long
+     * prefills at chunk boundaries at the price of re-streaming the
+     * weights once per chunk.
+     */
+    std::size_t chunkTokens = 0;
     /** Per-request budget override; 0 keeps each task's N'. */
     std::size_t budgetOverride = 0;
     /**
@@ -74,7 +77,8 @@ struct ServingConfig
     std::size_t poolTokens = 0;
     /** Allocator pressure watermark. */
     double highWatermark = 0.85;
-    /** Safety cap on engine steps; 0 = run the trace to completion. */
+    /** Safety cap on engine steps (prefill chunks + decode
+     *  iterations); 0 = run the trace to completion. */
     std::uint64_t maxEngineSteps = 0;
     /** inform() per-request lifecycle lines (examples/edge_server). */
     bool verbose = false;
@@ -84,8 +88,10 @@ struct ServingConfig
 struct ServingReport
 {
     ServingSummary summary;
+    std::uint64_t engineSteps = 0;   ///< prefill chunks + decode steps
     std::uint64_t decodeSteps = 0;
-    std::uint64_t prefills = 0;
+    std::uint64_t prefillChunks = 0; ///< == prefills when unchunked
+    std::uint64_t prefills = 0;      ///< completed prompt prefills
     std::size_t poolTokens = 0;
     double poolCapacityBytes = 0.0;
     double poolPeakBytes = 0.0;
@@ -110,9 +116,11 @@ class Scheduler
     void onArrival(std::size_t idx);
     void admitWaiting();
     void dispatch();
-    void startPrefill();
-    void startDecodeStep();
+    void runPrefillChunk(const EngineStepPlan &plan);
+    void runDecodeStep(const EngineStepPlan &plan);
     void finishRequest(std::size_t idx);
+    void rejectRequest(std::size_t idx, std::size_t floor_tokens);
+    EngineView view() const;
     std::size_t requestedBudget(const sim::Task &task) const;
     std::size_t minBudget(const sim::Task &task) const;
 
@@ -120,16 +128,20 @@ class Scheduler
     sim::EventQueue queue_;
     KvBudgetAllocator allocator_;
     ServingMetrics metrics_;
+    std::unique_ptr<Policy> policy_;
 
     std::vector<Request> requests_;
     std::vector<KvBudgetAllocator::Grant> grants_;
     std::deque<std::size_t> waiting_;  ///< arrived, not admitted
-    std::deque<std::size_t> admitted_; ///< granted, awaiting prefill
+    std::deque<std::size_t> admitted_; ///< granted, prompt unfinished
     std::vector<std::size_t> running_; ///< decode-batch members
 
     bool engineBusy_ = false;
     bool truncated_ = false;
+    EngineStepKind lastStep_ = EngineStepKind::Idle;
+    std::uint64_t engineSteps_ = 0;
     std::uint64_t decodeSteps_ = 0;
+    std::uint64_t prefillChunks_ = 0;
     std::uint64_t prefills_ = 0;
     Time lastCompletion_;
 };

@@ -37,6 +37,30 @@ ServingMetrics::addEnergy(const accel::EnergyBreakdown &e)
     energy_ += e;
 }
 
+void
+ServingMetrics::onBypass(std::size_t overtaken)
+{
+    bypasses_ += overtaken;
+}
+
+bool
+ServingMetrics::metTtft(const Request &r)
+{
+    if (r.ttftDeadlineSec <= 0.0)
+        return true;
+    return (r.firstToken - r.arrival).sec() <= r.ttftDeadlineSec;
+}
+
+bool
+ServingMetrics::metTpot(const Request &r)
+{
+    if (r.tpotTargetSec <= 0.0 || r.task.decLen == 0)
+        return true;
+    const double per_tok = (r.completed - r.firstToken).sec() /
+                           static_cast<double>(r.task.decLen);
+    return per_tok <= r.tpotTargetSec;
+}
+
 double
 ServingMetrics::percentile(std::vector<double> samples, double p)
 {
@@ -59,17 +83,49 @@ ServingMetrics::summarize(Time makespan) const
     s.rejected = rejected_;
     s.makespan = makespan;
     s.energy = energy_;
+    s.admissionBypasses = bypasses_;
     if (queueDepthSamples_ > 0) {
         s.meanQueueDepth =
             queueDepthSum_ / static_cast<double>(queueDepthSamples_);
         s.maxQueueDepth = maxQueueDepth_;
     }
+
+    // SLO attainment over terminal requests; a rejected request never
+    // produced a token, so it misses both deadlines. A run that
+    // served nobody attains nothing.
+    const std::size_t terminal = completed_.size() + rejected_;
+    if (terminal == 0) {
+        s.sloTtftAttainment = 0.0;
+        s.sloTpotAttainment = 0.0;
+        s.sloAttainment = 0.0;
+    } else {
+        std::size_t met_ttft = 0;
+        std::size_t met_tpot = 0;
+        std::size_t met_both = 0;
+        for (const auto &r : completed_) {
+            const bool ttft_ok = metTtft(r);
+            const bool tpot_ok = metTpot(r);
+            met_ttft += ttft_ok ? 1 : 0;
+            met_tpot += tpot_ok ? 1 : 0;
+            met_both += (ttft_ok && tpot_ok) ? 1 : 0;
+        }
+        const double n_term = static_cast<double>(terminal);
+        s.sloTtftAttainment = static_cast<double>(met_ttft) / n_term;
+        s.sloTpotAttainment = static_cast<double>(met_tpot) / n_term;
+        s.sloAttainment = static_cast<double>(met_both) / n_term;
+    }
     if (completed_.empty())
         return s;
+
+    for (const auto &r : completed_) {
+        s.maxQueueWaitSec = std::max(s.maxQueueWaitSec,
+                                     (r.admitted - r.arrival).sec());
+    }
 
     std::vector<double> ttft;
     std::vector<double> e2e;
     std::vector<double> tpot;
+    std::vector<double> gap;
     double ttft_sum = 0.0;
     double tpot_sum = 0.0;
     double tokens = 0.0;
@@ -86,6 +142,7 @@ ServingMetrics::summarize(Time makespan) const
             tpot.push_back(per_tok);
             tpot_sum += per_tok;
         }
+        gap.push_back(r.maxTokenGapSec);
         tokens += static_cast<double>(r.generated);
         budget_frac_sum +=
             r.budgetRequested > 0
@@ -106,6 +163,7 @@ ServingMetrics::summarize(Time makespan) const
                      : tpot_sum / static_cast<double>(tpot.size());
     s.tpotP50 = percentile(tpot, 50.0);
     s.tpotP95 = percentile(tpot, 95.0);
+    s.tokenGapP95 = percentile(gap, 95.0);
     s.meanBudgetFraction = budget_frac_sum / n;
     if (makespan.sec() > 0.0)
         s.goodputTokensPerSec = tokens / makespan.sec();

@@ -3,11 +3,16 @@
  * SLO metrics of a serving run.
  *
  * Per-request: TTFT (arrival -> first token, i.e. queueing + admission
- * + prefill), TPOT (mean decode inter-token time) and end-to-end
- * latency. Aggregates: nearest-rank p50/p95/p99 percentiles, goodput
- * (completed decode tokens per second of makespan), queue-depth
- * summary, and the component-wise energy of every engine step
- * (the `refresh` component is the aggregate eDRAM refresh energy).
+ * + prefill), TPOT (mean decode inter-token time), end-to-end latency,
+ * and whether the TTFT/TPOT deadlines stamped on the request were met.
+ * Aggregates: nearest-rank p50/p95/p99 percentiles, goodput (completed
+ * decode tokens per second of makespan), SLO attainment (fraction of
+ * terminal requests meeting each deadline; rejections count as
+ * misses), starvation counters (admission bypasses, max queue wait),
+ * the p95 decode stall (worst inter-token gap a prefill inflicted on
+ * the batch), queue-depth summary, and the component-wise energy of
+ * every engine step (the `refresh` component is the aggregate eDRAM
+ * refresh energy).
  *
  * Percentile convention (nearest-rank): for n ascending samples the
  * p-th percentile is sample `ceil(p/100 * n)` (1-based), so for 10
@@ -19,6 +24,7 @@
 #define KELLE_SERVING_SERVING_METRICS_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "accel/energy_model.hpp"
@@ -51,8 +57,47 @@ struct ServingSummary
     double tpotP50 = 0.0;
     double tpotP95 = 0.0;
 
+    /**
+     * p95 across completed requests of the worst inter-token gap each
+     * saw while decoding: the decode stall other requests' prefills
+     * inflicted on the batch. Monolithic prefill inflates it to whole
+     * prompt latencies; chunk interleaving bounds it near one chunk.
+     */
+    double tokenGapP95 = 0.0;
+
     /** Completed decode tokens per second of makespan. */
     double goodputTokensPerSec = 0.0;
+
+    /**
+     * @name SLO attainment
+     * Fraction of terminal requests (completed + rejected) that met
+     * each deadline stamped on the request at trace generation; a
+     * rejected request misses both, a disabled deadline (0) is always
+     * met. `sloAttainment` requires both. All three read 0 when the
+     * run produced no terminal request (e.g. truncated by the
+     * engine-step cap before anyone finished).
+     * @{
+     */
+    double sloTtftAttainment = 1.0;
+    double sloTpotAttainment = 1.0;
+    double sloAttainment = 1.0;
+    /** @} */
+
+    /**
+     * @name Starvation accounting
+     * `admissionBypasses` counts, after each admission round, the
+     * (admitted, still-waiting) pairs where the admitted request
+     * arrived *later* — one per earlier arrival an admission left
+     * blocked, so FIFO policies read 0 and reordering policies pay
+     * for each real queue jump (requests admitted in the same round
+     * lost nothing and are not counted). `maxQueueWaitSec` is the
+     * worst arrival→admission wait of any completed request: the
+     * starvation tail the bypasses caused.
+     * @{
+     */
+    std::uint64_t admissionBypasses = 0;
+    double maxQueueWaitSec = 0.0;
+    /** @} */
 
     double meanQueueDepth = 0.0;
     std::size_t maxQueueDepth = 0;
@@ -77,6 +122,13 @@ class ServingMetrics
     void sampleQueueDepth(std::size_t depth);
     /** Accumulate one engine step's energy. */
     void addEnergy(const accel::EnergyBreakdown &e);
+    /** Record an admission that overtook `overtaken` earlier arrivals. */
+    void onBypass(std::size_t overtaken);
+
+    /** TTFT-deadline check for a completed request (0 = disabled). */
+    static bool metTtft(const Request &r);
+    /** TPOT-target check for a completed request (0 = disabled). */
+    static bool metTpot(const Request &r);
 
     /** Nearest-rank percentile, p in [0, 100]. Copies and sorts. */
     static double percentile(std::vector<double> samples, double p);
@@ -91,6 +143,7 @@ class ServingMetrics
   private:
     std::vector<Request> completed_;
     std::size_t rejected_ = 0;
+    std::uint64_t bypasses_ = 0;
     accel::EnergyBreakdown energy_;
     double queueDepthSum_ = 0.0;
     std::size_t queueDepthSamples_ = 0;

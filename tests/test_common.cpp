@@ -1,10 +1,16 @@
 /**
  * @file
- * Unit tests for the common library: units, RNG, stats, tables.
+ * Unit tests for the common library: units, RNG, stats, tables,
+ * parallel-for.
  */
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -206,6 +212,65 @@ TEST(Table, Formatters)
     EXPECT_EQ(Table::num(3.14159, 2), "3.14");
     EXPECT_EQ(Table::mult(3.9399, 2), "3.94x");
     EXPECT_EQ(Table::pct(0.465, 1), "46.5%");
+}
+
+TEST(ParallelFor, SlotResultsMatchTheSerialLoop)
+{
+    // Each iteration writes only its own slot, so the parallel sweep
+    // must be bit-identical to the serial one — the property the
+    // bench harnesses rely on for seeded determinism.
+    const std::size_t n = 257;
+    auto cell = [](std::size_t i) {
+        Rng rng(1000 + i); // per-cell seed, like a sweep cell
+        double acc = 0.0;
+        for (int k = 0; k < 50; ++k)
+            acc += rng.uniform();
+        return acc;
+    };
+    std::vector<double> serial(n);
+    for (std::size_t i = 0; i < n; ++i)
+        serial[i] = cell(i);
+    for (std::size_t threads : {1u, 4u, 16u}) {
+        std::vector<double> parallel(n);
+        common::parallelFor(
+            n, threads, [&](std::size_t i) { parallel[i] = cell(i); });
+        EXPECT_EQ(serial, parallel) << threads << " threads";
+    }
+}
+
+TEST(ParallelFor, ExecutesEveryIndexExactlyOnce)
+{
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    common::parallelFor(n, 8, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EdgeSizes)
+{
+    common::parallelFor(0, 4, [](std::size_t) { FAIL(); });
+    int calls = 0;
+    common::parallelFor(1, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+    // More workers than work: excess workers find nothing to claim.
+    std::atomic<int> done{0};
+    common::parallelFor(2, 16, [&](std::size_t) { ++done; });
+    EXPECT_EQ(done.load(), 2);
+    EXPECT_GE(common::defaultParallelism(), 1u);
+}
+
+TEST(ParallelFor, RethrowsTheFirstWorkerException)
+{
+    EXPECT_THROW(common::parallelFor(
+                     64, 4,
+                     [](std::size_t i) {
+                         if (i == 13)
+                             throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
 }
 
 } // namespace
