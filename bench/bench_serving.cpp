@@ -24,6 +24,7 @@
 
 #include "bench_util.hpp"
 #include "common/arg_parser.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "serving/scheduler.hpp"
@@ -45,6 +46,7 @@ baseConfig(const common::ArgParser &args)
     if (args.getString("mix") == "pg19")
         cfg.traffic.mix = serving::pg19HeavyMix();
     cfg.maxBatch = args.getSize("maxbatch");
+    cfg.chunkSlackFrac = args.getDouble("chunk-slack");
     cfg.budgetOverride = args.getSize("budget");
     cfg.poolTokens = args.getSize("pool");
     cfg.maxEngineSteps = args.getSize("steps");
@@ -105,6 +107,11 @@ main(int argc, char **argv)
                 "prefill chunk size for the chunked study/sweep cells; "
                 "passing the flag explicitly applies it to the "
                 "headline too (0 disables chunking everywhere)");
+    args.addDouble("chunk-slack", 0.0,
+                   "edf-chunked slack-aware alternation: run "
+                   "consecutive chunks when the prefilling request's "
+                   "TTFT slack is below this fraction of its budget "
+                   "(0 = unconditional alternation)");
     args.addInt("budget", 0, "per-request KV budget N' (0 = task N')");
     args.addInt("seed", 42, "arrival-trace seed");
     args.addInt("steps", 0, "max engine steps (0 = run to completion)");
@@ -207,6 +214,22 @@ main(int argc, char **argv)
             {serving::SchedulePolicy::EdfChunked, 0},
             {serving::SchedulePolicy::EdfChunked, chunk},
         };
+        // The comparison notes below contrast these two cells; derive
+        // the indices so reordering `cases` cannot silently decouple
+        // them.
+        auto caseIndex = [&cases](serving::SchedulePolicy p,
+                                  std::size_t c) {
+            for (std::size_t i = 0; i < cases.size(); ++i)
+                if (cases[i].policy == p && cases[i].chunk == c)
+                    return i;
+            KELLE_ASSERT(false, "study case missing: ", toString(p),
+                         " chunk ", c);
+            return cases.size();
+        };
+        const std::size_t cb_mono_idx = caseIndex(
+            serving::SchedulePolicy::ContinuousBatching, 0);
+        const std::size_t edf_chunked_idx =
+            caseIndex(serving::SchedulePolicy::EdfChunked, chunk);
         // The knee (0.3x) keeps the TTFT tail transient queue jitter;
         // 1x is steady-state overload on this mix.
         const std::vector<std::pair<std::string, double>> regimes = {
@@ -232,11 +255,32 @@ main(int argc, char **argv)
             for (std::size_t i = 0; i < cases.size(); ++i)
                 addSummaryRow(t, toString(cases[i].policy),
                               cases[i].chunk, reps[i]);
+            // With the slack-aware knob on, add the unconditional
+            // alternation baseline so the recovered TTFT tax is
+            // visible in one table.
+            if (study.chunkSlackFrac > 0.0) {
+                serving::ServingConfig noslack = study;
+                noslack.chunkSlackFrac = 0.0;
+                const auto base_rep = runCell(
+                    noslack, serving::SchedulePolicy::EdfChunked,
+                    chunk);
+                addSummaryRow(t, "edf-chunked slack0", chunk,
+                              base_rep);
+                const double tax = base_rep.summary.ttftP95;
+                const double rec = reps[edf_chunked_idx].summary.ttftP95;
+                bench::note(
+                    "slack-aware alternation (frac " +
+                    Table::num(study.chunkSlackFrac, 2) +
+                    ") p95 TTFT " + toString(Time::seconds(rec)) +
+                    " vs unconditional " +
+                    toString(Time::seconds(tax)) +
+                    (rec < tax ? " - tax recovered" : ""));
+            }
             t.print("same trace per row; 'stall p95' is the worst "
                     "decode gap a prefill inflicted on the batch");
 
-            const auto &cb = reps[0].summary;  // contbatch, monolithic
-            const auto &edf = reps[4].summary; // edf-chunked, chunked
+            const auto &cb = reps[cb_mono_idx].summary;  // contbatch, monolithic
+            const auto &edf = reps[edf_chunked_idx].summary; // edf-chunked, chunked
             if (edf.ttftP95 < cb.ttftP95) {
                 bench::note(
                     "edf-chunked (chunk " + std::to_string(chunk) +

@@ -1,0 +1,53 @@
+# Post-build helper of KelleGtestSuites.cmake: list TEST_EXECUTABLE's
+# GoogleTest suites and write one add_test() per suite into CTEST_FILE.
+# Runs in script mode (cmake -P) with TEST_TARGET, TEST_EXECUTABLE,
+# CTEST_FILE, SLOW_SUITES (regex, may be empty) and SLOW_ENABLED
+# defined on the command line.
+
+cmake_minimum_required(VERSION 3.22) # CMP0057 NEW: if(IN_LIST)
+
+execute_process(
+    COMMAND "${TEST_EXECUTABLE}" --gtest_list_tests
+    OUTPUT_VARIABLE output
+    RESULT_VARIABLE result
+    ERROR_VARIABLE error)
+if(NOT result EQUAL 0)
+    message(FATAL_ERROR
+        "listing tests of ${TEST_TARGET} failed (${result}): ${error}")
+endif()
+
+string(REPLACE "\n" ";" lines "${output}")
+set(script "")
+set(seen "")
+foreach(line IN LISTS lines)
+    # Suite headers are unindented "Suite." lines (test cases are
+    # indented); a trailing "  # TypeParam = ..." comment may follow.
+    if(line MATCHES "^([A-Za-z_0-9/]+)\\.")
+        set(suite "${CMAKE_MATCH_1}")
+        if(suite IN_LIST seen)
+            continue()
+        endif()
+        list(APPEND seen "${suite}")
+        set(slow FALSE)
+        if(SLOW_SUITES AND suite MATCHES "${SLOW_SUITES}")
+            set(slow TRUE)
+        endif()
+        if(slow AND NOT SLOW_ENABLED)
+            continue() # slow tier not registered in this build
+        endif()
+        set(name "${TEST_TARGET}.${suite}")
+        string(APPEND script
+            "add_test(\"${name}\" \"${TEST_EXECUTABLE}\""
+            " \"--gtest_filter=${suite}.*\")\n")
+        if(slow)
+            string(APPEND script
+                "set_tests_properties(\"${name}\" PROPERTIES"
+                " LABELS slow)\n")
+        endif()
+    endif()
+endforeach()
+
+if(script STREQUAL "")
+    message(FATAL_ERROR "no test suites found in ${TEST_TARGET}")
+endif()
+file(WRITE "${CTEST_FILE}" "${script}")

@@ -1,18 +1,27 @@
 /**
  * @file
- * A narrated edge serving session: a small burst of users hits one
- * Kelle device, and the engine logs every request's lifecycle —
+ * A narrated edge serving session: a small burst of users hits a
+ * Kelle deployment, and the engine logs every request's lifecycle —
  * arrival, admission (with the AERP budget N' the KV allocator
  * granted, shrunk under pool pressure), first token, completion —
  * followed by the SLO summary. A deliberately small KV pool makes the
  * admission control and eviction-pressure feedback visible.
  *
+ * With `--devices N` (N > 1) the same burst hits an N-device edge
+ * cluster instead: every arrival is routed by the chosen dispatch
+ * policy (the narration shows the routing decision and each device's
+ * free KV at that moment), `--hetero` mixes eDRAM- and SRAM-backed
+ * devices, and `--preempt` lets a device reclaim the KV grant of a
+ * deadline-doomed decode and throw the victim back to the dispatcher.
+ *
  * Try: ./edge_server --rate 0.1 --policy fcfs --seed 7
+ *      ./edge_server --devices 2 --hetero --dispatch join-shortest-kv
  */
 
 #include <algorithm>
 #include <cstdio>
 
+#include "cluster/cluster_engine.hpp"
 #include "common/arg_parser.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
@@ -20,55 +29,12 @@
 
 using namespace kelle;
 
-int
-main(int argc, char **argv)
+namespace {
+
+void
+printSummary(const serving::ServingReport &rep)
 {
-    common::ArgParser args("edge_server",
-                           "narrated multi-user edge serving session");
-    args.addDouble("rate", 0.05, "mean arrival rate in req/s");
-    args.addString("policy", "contbatch",
-                   serving::schedulePolicyNames());
-    args.addInt("chunk-tokens", 0,
-                "prefill chunk size (0 = whole prompt per step)");
-    args.addInt("requests", 12, "number of user requests");
-    args.addInt("seed", 7, "arrival-trace seed");
-    args.addInt("budget", 0, "per-request KV budget N' (0 = task N')");
-    args.addInt("steps", 0, "max engine steps (0 = run to completion)");
-    if (!args.parse(argc, argv))
-        return args.exitCode();
-
-    serving::ServingConfig cfg;
-    cfg.traffic.ratePerSec = args.getDouble("rate");
-    cfg.traffic.numRequests = args.getSize("requests");
-    cfg.traffic.seed = static_cast<std::uint64_t>(args.getInt("seed"));
-    cfg.traffic.process = serving::ArrivalProcess::Bursty;
-    cfg.budgetOverride = args.getSize("budget");
-    cfg.maxEngineSteps = args.getSize("steps");
-    cfg.chunkTokens = args.getSize("chunk-tokens");
-    if (!serving::parseSchedulePolicy(args.getString("policy"),
-                                      &cfg.policy)) {
-        std::fprintf(stderr, "unknown --policy '%s' (%s)\n",
-                     args.getString("policy").c_str(),
-                     serving::schedulePolicyNames().c_str());
-        return 1;
-    }
-    // A pool of ~6 concurrent TQ-sized budgets: small enough that a
-    // burst pushes utilization over the watermark and later grants
-    // come back shrunk.
-    cfg.poolTokens = 6144;
-    cfg.maxBatch = 8;
-    cfg.verbose = true;
-    setLogLevel(LogLevel::Verbose); // lifecycle lines use inform()
-
-    std::printf("edge_server: %zu requests at %.3f req/s (bursty), "
-                "policy %s, KV pool %zu tokens\n\n",
-                cfg.traffic.numRequests, cfg.traffic.ratePerSec,
-                toString(cfg.policy).c_str(), cfg.poolTokens);
-
-    serving::Scheduler engine(cfg);
-    const auto rep = engine.run();
     const auto &s = rep.summary;
-
     Table t({"metric", "value"});
     t.addRow({"completed / rejected", std::to_string(s.completed) + " / " +
                                           std::to_string(s.rejected)});
@@ -85,6 +51,8 @@ main(int argc, char **argv)
     t.addRow({"admission bypasses / max queue wait",
               std::to_string(s.admissionBypasses) + " / " +
                   toString(Time::seconds(s.maxQueueWaitSec))});
+    t.addRow({"preemptions (doomed decodes reclaimed)",
+              std::to_string(s.preemptions)});
     t.addRow({"goodput", Table::num(s.goodputTokensPerSec, 1) + " tok/s"});
     t.addRow({"queue depth mean / max",
               Table::num(s.meanQueueDepth, 1) + " / " +
@@ -105,5 +73,116 @@ main(int argc, char **argv)
                   ")"});
     std::printf("\n");
     t.print("session summary");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    common::ArgParser args("edge_server",
+                           "narrated multi-user edge serving session");
+    args.addDouble("rate", 0.05, "mean arrival rate in req/s");
+    args.addString("policy", "contbatch",
+                   serving::schedulePolicyNames());
+    args.addInt("chunk-tokens", 0,
+                "prefill chunk size (0 = whole prompt per step)");
+    args.addInt("requests", 12, "number of user requests");
+    args.addInt("seed", 7, "arrival-trace seed");
+    args.addInt("budget", 0, "per-request KV budget N' (0 = task N')");
+    args.addInt("steps", 0, "max engine steps (0 = run to completion)");
+    args.addInt("devices", 1,
+                "edge devices; > 1 serves the burst on a cluster");
+    args.addString("dispatch", "join-shortest-kv",
+                   "cluster dispatch policy: " +
+                       cluster::dispatchPolicyNames());
+    args.addBool("hetero", false,
+                 "alternate eDRAM/SRAM devices (clusters only)");
+    args.addBool("preempt", false,
+                 "reclaim KV grants of deadline-doomed decodes");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
+    serving::ServingConfig cfg;
+    cfg.traffic.ratePerSec = args.getDouble("rate");
+    cfg.traffic.numRequests = args.getSize("requests");
+    cfg.traffic.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.traffic.process = serving::ArrivalProcess::Bursty;
+    cfg.budgetOverride = args.getSize("budget");
+    cfg.maxEngineSteps = args.getSize("steps");
+    cfg.chunkTokens = args.getSize("chunk-tokens");
+    cfg.preempt.enabled = args.getBool("preempt");
+    if (!serving::parseSchedulePolicy(args.getString("policy"),
+                                      &cfg.policy)) {
+        std::fprintf(stderr, "unknown --policy '%s' (%s)\n",
+                     args.getString("policy").c_str(),
+                     serving::schedulePolicyNames().c_str());
+        return 1;
+    }
+    cluster::DispatchKind dispatch;
+    if (!cluster::parseDispatchPolicy(args.getString("dispatch"),
+                                      &dispatch)) {
+        std::fprintf(stderr, "unknown --dispatch '%s' (%s)\n",
+                     args.getString("dispatch").c_str(),
+                     cluster::dispatchPolicyNames().c_str());
+        return 1;
+    }
+    // A pool of ~6 concurrent TQ-sized budgets: small enough that a
+    // burst pushes utilization over the watermark and later grants
+    // come back shrunk.
+    cfg.poolTokens = 6144;
+    cfg.maxBatch = 8;
+    cfg.verbose = true;
+    setLogLevel(LogLevel::Verbose); // lifecycle lines use inform()
+
+    const std::size_t devices = args.getSize("devices");
+    if (devices <= 1) {
+        std::printf("edge_server: %zu requests at %.3f req/s (bursty), "
+                    "policy %s, KV pool %zu tokens\n\n",
+                    cfg.traffic.numRequests, cfg.traffic.ratePerSec,
+                    toString(cfg.policy).c_str(), cfg.poolTokens);
+
+        serving::Scheduler engine(cfg);
+        printSummary(engine.run());
+        return 0;
+    }
+
+    // ---- Multi-device session: the same burst over a cluster ------
+    cluster::ClusterConfig ccfg =
+        cluster::clusterConfigFrom(cfg, devices, dispatch);
+    if (args.getBool("hetero")) {
+        // SRAM-backed devices run half the pool: the KV-capacity
+        // asymmetry the dispatch policy has to balance.
+        ccfg.devices = cluster::heteroEdramSramFleet(
+            devices, 2048, cfg.poolTokens, cfg.poolTokens / 2,
+            cfg.maxBatch);
+    }
+
+    std::printf("edge_server: %zu requests at %.3f req/s (bursty) on "
+                "%zu devices (%s), dispatch %s, policy %s%s\n\n",
+                ccfg.engine.traffic.numRequests, ccfg.engine.traffic.ratePerSec,
+                devices, args.getBool("hetero") ? "eDRAM/SRAM" : "eDRAM",
+                toString(dispatch).c_str(),
+                toString(ccfg.engine.policy).c_str(),
+                ccfg.engine.preempt.enabled ? ", preempt-and-requeue on" : "");
+
+    cluster::ClusterEngine engine(ccfg);
+    const auto rep = engine.run();
+
+    std::printf("\n");
+    Table per_dev({"device", "dispatched", "done", "TTFT p95",
+                   "busy", "KV peak", "pool tok"});
+    for (const auto &d : rep.devices) {
+        per_dev.addRow(
+            {d.name, std::to_string(d.dispatched),
+             std::to_string(d.report.summary.completed),
+             toString(Time::seconds(d.report.summary.ttftP95)),
+             toString(Time::seconds(d.busySec)),
+             Table::pct(d.kvPeakUtilization),
+             std::to_string(d.report.poolTokens)});
+    }
+    per_dev.print("per-device breakdown; load imbalance CV " +
+                  Table::num(rep.loadImbalanceCv, 2));
+    printSummary(rep.aggregate);
     return 0;
 }

@@ -1,0 +1,176 @@
+#include "cluster/cluster_engine.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace kelle {
+namespace cluster {
+
+std::vector<DeviceSpec>
+homogeneousFleet(std::size_t n, const accel::SystemConfig &system,
+                 std::size_t pool_tokens, std::size_t max_batch)
+{
+    KELLE_ASSERT(n > 0, "a fleet needs at least one device");
+    std::vector<DeviceSpec> fleet;
+    fleet.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DeviceSpec d;
+        d.name = "dev" + std::to_string(i);
+        d.system = system;
+        d.poolTokens = pool_tokens;
+        d.maxBatch = max_batch;
+        fleet.push_back(std::move(d));
+    }
+    return fleet;
+}
+
+std::vector<DeviceSpec>
+heteroEdramSramFleet(std::size_t n, std::size_t budget,
+                     std::size_t edram_pool_tokens,
+                     std::size_t sram_pool_tokens,
+                     std::size_t max_batch)
+{
+    KELLE_ASSERT(n > 0, "a fleet needs at least one device");
+    std::vector<DeviceSpec> fleet;
+    fleet.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DeviceSpec d;
+        const bool edram = i % 2 == 0;
+        d.name = (edram ? "edram" : "sram") + std::to_string(i);
+        d.system = edram ? accel::kelleEdramSystem(budget)
+                         : accel::aerpSramSystem(budget);
+        d.poolTokens = edram ? edram_pool_tokens : sram_pool_tokens;
+        d.maxBatch = max_batch;
+        fleet.push_back(std::move(d));
+    }
+    return fleet;
+}
+
+ClusterConfig
+clusterConfigFrom(const serving::ServingConfig &cfg,
+                  std::size_t n_devices, DispatchKind dispatch)
+{
+    ClusterConfig c;
+    c.engine = cfg;
+    c.dispatch = dispatch;
+    c.devices = homogeneousFleet(n_devices, cfg.system, cfg.poolTokens,
+                                 cfg.maxBatch);
+    return c;
+}
+
+ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
+    : cfg_(cfg), dispatch_(makeDispatchPolicy(cfg.dispatch))
+{
+    KELLE_ASSERT(!cfg_.devices.empty(),
+                 "a cluster needs at least one device");
+    devices_.reserve(cfg_.devices.size());
+    for (std::size_t i = 0; i < cfg_.devices.size(); ++i) {
+        const DeviceSpec &spec = cfg_.devices[i];
+        // One copy path for the shared knobs (deviceConfigFrom), then
+        // only what a DeviceSpec may override.
+        serving::DeviceConfig d = deviceConfigFrom(cfg_.engine);
+        // A 1-device fleet keeps the empty label so its verbose log is
+        // bit-identical to the single-device Scheduler's.
+        d.name = cfg_.devices.size() > 1 ? spec.name : "";
+        d.system = spec.system;
+        d.poolTokens = spec.poolTokens;
+        d.maxBatch = spec.maxBatch;
+        devices_.push_back(std::make_unique<serving::DeviceEngine>(
+            d, queue_, requests_));
+
+        serving::DeviceEngine::Hooks hooks;
+        // Requeue through an immediate event: the victim re-enters the
+        // dispatch policy after the preempting device's step boundary
+        // completes, never re-entering an engine mid-dispatch.
+        hooks.requeue = [this](std::size_t idx) {
+            queue_.schedule(queue_.now(),
+                            [this, idx] { dispatchArrival(idx); });
+        };
+        devices_.back()->setHooks(std::move(hooks));
+    }
+}
+
+std::vector<DeviceStatus>
+ClusterEngine::statuses() const
+{
+    std::vector<DeviceStatus> out;
+    out.reserve(devices_.size());
+    for (const auto &dev : devices_) {
+        DeviceStatus s;
+        s.freeKvBytes = dev->freeKvBytes();
+        s.kvCapacityBytes = dev->allocator().capacityBytes();
+        s.waiting = dev->waitingCount();
+        s.active = dev->activeCount();
+        out.push_back(s);
+    }
+    return out;
+}
+
+void
+ClusterEngine::dispatchArrival(std::size_t idx)
+{
+    std::size_t d = dispatch_->pick(requests_[idx], statuses());
+    KELLE_ASSERT(d < devices_.size(),
+                 "dispatch picked a device outside the fleet");
+    // Blind routing must not turn a serveable request into a
+    // permanent rejection: if the picked device's whole pool can
+    // never hold the request's floor, fall back to the feasible
+    // device with the most free KV (ties: lowest index). When no
+    // device can ever fit, the pick stands and the rejection is real.
+    if (!devices_[d]->canEverAdmit(requests_[idx])) {
+        std::size_t best = devices_.size();
+        for (std::size_t i = 0; i < devices_.size(); ++i) {
+            if (!devices_[i]->canEverAdmit(requests_[idx]))
+                continue;
+            if (best == devices_.size() ||
+                devices_[i]->freeKvBytes() >
+                    devices_[best]->freeKvBytes())
+                best = i;
+        }
+        if (best != devices_.size())
+            d = best;
+    }
+    if (cfg_.engine.verbose && devices_.size() > 1) {
+        const serving::Request &r = requests_[idx];
+        inform("t=", toString(queue_.now()), " dispatch request #",
+               r.id, r.preemptions > 0 ? " (requeued)" : "", " -> ",
+               devices_[d]->config().name, " (free KV ",
+               Table::num(Bytes(devices_[d]->freeKvBytes()).inMib(),
+                          1),
+               " MiB, ", devices_[d]->waitingCount(), " waiting, ",
+               devices_[d]->activeCount(), " resident)");
+    }
+    devices_[d]->enqueue(idx);
+}
+
+ClusterReport
+ClusterEngine::run()
+{
+    requests_ = serving::generateTrace(cfg_.engine.traffic);
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+        queue_.schedule(requests_[i].arrival,
+                        [this, i] { dispatchArrival(i); });
+    }
+    queue_.runAll();
+
+    // Makespan is first arrival to last completion anywhere in the
+    // fleet; the idle lead-in before the first arrival is not serving
+    // time.
+    Time last;
+    for (const auto &dev : devices_)
+        last = std::max(last, dev->lastCompletion());
+    Time makespan;
+    if (last.sec() > 0.0)
+        makespan = last - requests_.front().arrival;
+
+    std::vector<const serving::DeviceEngine *> devs;
+    devs.reserve(devices_.size());
+    for (const auto &dev : devices_)
+        devs.push_back(dev.get());
+    return rollUpCluster(devs, makespan);
+}
+
+} // namespace cluster
+} // namespace kelle

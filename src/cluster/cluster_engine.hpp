@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The layer-6 edge-cluster serving engine: one shared request stream
+ * served by N simulated accelerators on one `sim::EventQueue`.
+ *
+ *   arrivals --DispatchPolicy--> DeviceEngine[i] (own KV pool, own
+ *   policy-driven step loop, own timing/energy model instance)
+ *                                  --> ClusterReport roll-up
+ *
+ * `ClusterEngine` generates the seeded arrival trace once, routes
+ * every arrival through a pluggable `DispatchPolicy` (round-robin /
+ * join-shortest-kv / deadline-aware) to one of N per-device executors,
+ * and runs the shared event queue to completion. Devices are fully
+ * independent after dispatch — each owns a `KvBudgetAllocator` over
+ * its own KV pool, a scheduling `Policy`, and its accelerator config —
+ * so heterogeneous fleets (eDRAM- and SRAM-backed devices, different
+ * pool sizes or batch caps) mix freely in one cluster.
+ *
+ * Preempt-and-requeue is the cluster-level budget-reclamation knob:
+ * with `ClusterConfig::preempt.enabled`, a device reclaims the KV
+ * grant of a deadline-doomed decode (see device_engine.hpp) and hands
+ * the victim back to the cluster, which re-dispatches it through the
+ * same dispatch policy — possibly onto a different device with more
+ * free budget.
+ *
+ * Everything is a pure function of the config: reruns are
+ * bit-identical, and a 1-device cluster under any dispatch policy
+ * reproduces the single-device `Scheduler` bit-exactly.
+ */
+
+#ifndef KELLE_CLUSTER_CLUSTER_ENGINE_HPP
+#define KELLE_CLUSTER_CLUSTER_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_metrics.hpp"
+#include "cluster/dispatch_policy.hpp"
+#include "serving/device_engine.hpp"
+#include "serving/request_generator.hpp"
+#include "serving/scheduler.hpp"
+#include "sim/event_queue.hpp"
+
+namespace kelle {
+namespace cluster {
+
+/** What differs per device in a (possibly heterogeneous) fleet. */
+struct DeviceSpec
+{
+    std::string name;
+    accel::SystemConfig system = accel::kelleEdramSystem(2048);
+    /** KV pool tokens; 0 = §8.4.1 capacity analysis of `system`. */
+    std::size_t poolTokens = 0;
+    std::size_t maxBatch = 16;
+};
+
+/** Full configuration of a cluster run. */
+struct ClusterConfig
+{
+    /**
+     * The traffic of the shared stream plus every engine knob the
+     * devices inherit — model, scheduling policy, chunking and its
+     * slack rule, preemption, budget override, watermark, step cap,
+     * verbosity. Scheduler and ClusterEngine both materialize device
+     * engines through the same `deviceConfigFrom` copy, so the two
+     * paths cannot disagree on a knob (a field missed there is
+     * dropped from *both* equally — add new knobs to that one
+     * function). `system` / `poolTokens` / `maxBatch` act only as the
+     * homogeneous-fleet defaults; each `DeviceSpec` overrides them.
+     */
+    serving::ServingConfig engine;
+    DispatchKind dispatch = DispatchKind::RoundRobin;
+    /** The fleet; must not be empty. */
+    std::vector<DeviceSpec> devices;
+};
+
+/** N identical devices named dev0..devN-1. */
+std::vector<DeviceSpec> homogeneousFleet(
+    std::size_t n,
+    const accel::SystemConfig &system = accel::kelleEdramSystem(2048),
+    std::size_t pool_tokens = 0, std::size_t max_batch = 16);
+
+/**
+ * An alternating eDRAM/SRAM fleet (edram0, sram1, edram2, ...): the
+ * heterogeneity study of the source paper's co-design at fleet scale.
+ * eDRAM-backed devices take `edram_pool_tokens`, SRAM-backed ones
+ * `sram_pool_tokens` (0 = capacity analysis for either), so the KV
+ * capacity asymmetry the dispatch policies must balance is explicit.
+ */
+std::vector<DeviceSpec> heteroEdramSramFleet(
+    std::size_t n, std::size_t budget = 2048,
+    std::size_t edram_pool_tokens = 0,
+    std::size_t sram_pool_tokens = 0, std::size_t max_batch = 16);
+
+/**
+ * Lift a single-device ServingConfig onto an n-device homogeneous
+ * cluster (the equivalence seam: n = 1 reproduces the Scheduler run
+ * bit-exactly under any dispatch policy).
+ */
+ClusterConfig clusterConfigFrom(const serving::ServingConfig &cfg,
+                                std::size_t n_devices,
+                                DispatchKind dispatch);
+
+class ClusterEngine
+{
+  public:
+    explicit ClusterEngine(const ClusterConfig &cfg);
+
+    /** Generate the trace, serve it across the fleet, roll up. */
+    ClusterReport run();
+
+    std::size_t deviceCount() const { return devices_.size(); }
+    /** Per-device engine state after run() (tests/examples). */
+    const serving::DeviceEngine &device(std::size_t i) const
+    {
+        return *devices_[i];
+    }
+    /** The shared request table after run(). */
+    const std::vector<serving::Request> &requests() const
+    {
+        return requests_;
+    }
+
+  private:
+    void dispatchArrival(std::size_t idx);
+    std::vector<DeviceStatus> statuses() const;
+
+    ClusterConfig cfg_;
+    sim::EventQueue queue_;
+    std::vector<serving::Request> requests_;
+    std::unique_ptr<DispatchPolicy> dispatch_;
+    std::vector<std::unique_ptr<serving::DeviceEngine>> devices_;
+};
+
+} // namespace cluster
+} // namespace kelle
+
+#endif // KELLE_CLUSTER_CLUSTER_ENGINE_HPP

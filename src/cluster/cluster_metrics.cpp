@@ -1,0 +1,74 @@
+#include "cluster/cluster_metrics.hpp"
+
+#include <cmath>
+
+namespace kelle {
+namespace cluster {
+
+double
+coefficientOfVariation(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    if (mean <= 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size());
+    return std::sqrt(var) / mean;
+}
+
+ClusterReport
+rollUpCluster(const std::vector<const serving::DeviceEngine *> &devices,
+              Time makespan)
+{
+    ClusterReport out;
+    serving::ServingMetrics merged;
+    std::vector<double> busy;
+    busy.reserve(devices.size());
+
+    serving::ServingReport &agg = out.aggregate;
+    agg.drained = true;
+    for (const serving::DeviceEngine *dev : devices) {
+        merged.merge(dev->metrics());
+
+        ClusterDeviceReport d;
+        d.name = dev->config().name;
+        d.report = serving::deviceReport(*dev, makespan);
+        d.dispatched = dev->dispatched();
+        d.busySec = dev->busyTime().sec();
+        d.kvPeakUtilization =
+            d.report.poolCapacityBytes > 0.0
+                ? d.report.poolPeakBytes / d.report.poolCapacityBytes
+                : 0.0;
+        busy.push_back(d.busySec);
+
+        agg.engineSteps += d.report.engineSteps;
+        agg.decodeSteps += d.report.decodeSteps;
+        agg.prefillChunks += d.report.prefillChunks;
+        agg.prefills += d.report.prefills;
+        agg.poolTokens += d.report.poolTokens;
+        agg.poolCapacityBytes += d.report.poolCapacityBytes;
+        agg.poolPeakBytes += d.report.poolPeakBytes;
+        agg.shrunkGrants += d.report.shrunkGrants;
+        agg.deferrals += d.report.deferrals;
+        agg.drained = agg.drained && d.report.drained;
+        out.meanKvPeakUtilization += d.kvPeakUtilization;
+        out.devices.push_back(std::move(d));
+    }
+    agg.summary = merged.summarize(makespan);
+    if (!devices.empty())
+        out.meanKvPeakUtilization /=
+            static_cast<double>(devices.size());
+    out.loadImbalanceCv = coefficientOfVariation(busy);
+    out.refreshEnergyJ = agg.summary.energy.refresh.j();
+    return out;
+}
+
+} // namespace cluster
+} // namespace kelle

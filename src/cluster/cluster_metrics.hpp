@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Roll-up of a multi-device serving run: per-device `ServingReport`s
+ * plus fleet-level aggregates.
+ *
+ * Every device keeps its own `ServingMetrics`; the roll-up merges
+ * them into one record set and summarizes once over the *cluster*
+ * makespan (first arrival to last completion anywhere), so aggregate
+ * percentiles are computed over the union of completed requests, not
+ * averaged per device. Per-device summaries use the same makespan, so
+ * per-device goodput numbers add up to the aggregate. For a 1-device
+ * cluster the aggregate is bit-identical to the single-device
+ * `Scheduler` report.
+ *
+ * Fleet-level figures beyond the merged summary:
+ *  - load imbalance: the population coefficient of variation
+ *    (stddev / mean) of per-device busy time — 0 for a perfectly
+ *    balanced fleet, growing as dispatch skews work;
+ *  - KV utilization: per-device peak pool fraction and its fleet mean;
+ *  - total eDRAM refresh energy across every device.
+ */
+
+#ifndef KELLE_CLUSTER_CLUSTER_METRICS_HPP
+#define KELLE_CLUSTER_CLUSTER_METRICS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "serving/device_engine.hpp"
+#include "serving/scheduler.hpp"
+
+namespace kelle {
+namespace cluster {
+
+/** One device's slice of the run. */
+struct ClusterDeviceReport
+{
+    std::string name;
+    serving::ServingReport report; ///< summarized on cluster makespan
+    std::size_t dispatched = 0;    ///< requests routed to this device
+    double busySec = 0.0;          ///< wall-clock executing steps
+    double kvPeakUtilization = 0.0; ///< peak reserved / pool capacity
+};
+
+/** The whole fleet's outcome. */
+struct ClusterReport
+{
+    /** Merged-and-summarized roll-up over every device. */
+    serving::ServingReport aggregate;
+    std::vector<ClusterDeviceReport> devices;
+    /** Population CV of per-device busy time (0 = balanced). */
+    double loadImbalanceCv = 0.0;
+    /** Mean of per-device peak KV pool utilization. */
+    double meanKvPeakUtilization = 0.0;
+    /** Total eDRAM refresh energy across the fleet, joules. */
+    double refreshEnergyJ = 0.0;
+};
+
+/** Population coefficient of variation; 0 for empty or zero-mean. */
+double coefficientOfVariation(const std::vector<double> &xs);
+
+/** Merge every device into the fleet-level ClusterReport. */
+ClusterReport rollUpCluster(
+    const std::vector<const serving::DeviceEngine *> &devices,
+    Time makespan);
+
+} // namespace cluster
+} // namespace kelle
+
+#endif // KELLE_CLUSTER_CLUSTER_METRICS_HPP

@@ -1,0 +1,181 @@
+#include "cluster/dispatch_policy.hpp"
+
+#include "common/log.hpp"
+
+namespace kelle {
+namespace cluster {
+
+namespace {
+
+/** Least-loaded device: fewest waiting + resident requests, ties by
+ *  free KV (more first), then lowest index. */
+std::size_t
+leastLoaded(const std::vector<DeviceStatus> &devices)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < devices.size(); ++i) {
+        const std::size_t load_i = devices[i].waiting + devices[i].active;
+        const std::size_t load_b =
+            devices[best].waiting + devices[best].active;
+        if (load_i < load_b ||
+            (load_i == load_b &&
+             devices[i].freeKvBytes > devices[best].freeKvBytes))
+            best = i;
+    }
+    return best;
+}
+
+class RoundRobinDispatch final : public DispatchPolicy
+{
+  public:
+    DispatchKind kind() const override
+    {
+        return DispatchKind::RoundRobin;
+    }
+    std::size_t
+    pick(const serving::Request &,
+         const std::vector<DeviceStatus> &devices) override
+    {
+        return next_++ % devices.size();
+    }
+
+  private:
+    std::size_t next_ = 0;
+};
+
+class JoinShortestKvDispatch final : public DispatchPolicy
+{
+  public:
+    DispatchKind kind() const override
+    {
+        return DispatchKind::JoinShortestKv;
+    }
+    std::size_t
+    pick(const serving::Request &,
+         const std::vector<DeviceStatus> &devices) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < devices.size(); ++i) {
+            const auto &d = devices[i];
+            const auto &b = devices[best];
+            if (d.freeKvBytes > b.freeKvBytes ||
+                (d.freeKvBytes == b.freeKvBytes &&
+                 d.waiting + d.active < b.waiting + b.active))
+                best = i;
+        }
+        return best;
+    }
+};
+
+class DeadlineAwareDispatch final : public DispatchPolicy
+{
+  public:
+    DispatchKind kind() const override
+    {
+        return DispatchKind::DeadlineAware;
+    }
+    std::size_t
+    pick(const serving::Request &r,
+         const std::vector<DeviceStatus> &devices) override
+    {
+        // Online, mix-adaptive pressure threshold: a request is
+        // TTFT-pressed when its deadline is at or below the running
+        // mean of every dead-lined request dispatched so far (itself
+        // included). LA-sized chats press; QP/PG19-sized long contexts
+        // with proportionally larger allowances do not.
+        bool pressed = false;
+        if (r.ttftDeadlineSec > 0.0) {
+            // Count each request once: a requeued preemption victim
+            // passes through pick() again and must not skew the mean
+            // toward its (typically tight) deadline.
+            if (r.preemptions == 0) {
+                deadlineSum_ += r.ttftDeadlineSec;
+                ++deadlineCount_;
+            }
+            pressed = deadlineCount_ > 0 &&
+                      r.ttftDeadlineSec <=
+                          deadlineSum_ /
+                              static_cast<double>(deadlineCount_);
+        }
+        if (pressed)
+            return leastLoaded(devices);
+        return next_++ % devices.size();
+    }
+
+  private:
+    double deadlineSum_ = 0.0;
+    std::size_t deadlineCount_ = 0;
+    std::size_t next_ = 0;
+};
+
+} // namespace
+
+std::string
+toString(DispatchKind k)
+{
+    switch (k) {
+      case DispatchKind::RoundRobin:
+        return "round-robin";
+      case DispatchKind::JoinShortestKv:
+        return "join-shortest-kv";
+      case DispatchKind::DeadlineAware:
+        return "deadline-aware";
+    }
+    return "?";
+}
+
+bool
+parseDispatchPolicy(const std::string &text, DispatchKind *out)
+{
+    if (text == "round-robin" || text == "rr") {
+        *out = DispatchKind::RoundRobin;
+        return true;
+    }
+    if (text == "join-shortest-kv" || text == "jsk" ||
+        text == "shortest-kv") {
+        *out = DispatchKind::JoinShortestKv;
+        return true;
+    }
+    if (text == "deadline-aware" || text == "deadline") {
+        *out = DispatchKind::DeadlineAware;
+        return true;
+    }
+    return false;
+}
+
+std::string
+dispatchPolicyNames()
+{
+    std::string names;
+    for (DispatchKind k : allDispatchPolicies()) {
+        if (!names.empty())
+            names += "|";
+        names += toString(k);
+    }
+    return names;
+}
+
+std::vector<DispatchKind>
+allDispatchPolicies()
+{
+    return {DispatchKind::RoundRobin, DispatchKind::JoinShortestKv,
+            DispatchKind::DeadlineAware};
+}
+
+std::unique_ptr<DispatchPolicy>
+makeDispatchPolicy(DispatchKind kind)
+{
+    switch (kind) {
+      case DispatchKind::RoundRobin:
+        return std::make_unique<RoundRobinDispatch>();
+      case DispatchKind::JoinShortestKv:
+        return std::make_unique<JoinShortestKvDispatch>();
+      case DispatchKind::DeadlineAware:
+        return std::make_unique<DeadlineAwareDispatch>();
+    }
+    KELLE_ASSERT(false, "unknown DispatchKind");
+    return nullptr;
+}
+
+} // namespace cluster
+} // namespace kelle

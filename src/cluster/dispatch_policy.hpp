@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Request-to-device routing for the edge cluster: *which device*
+ * serves a request, decoupled from what each device's scheduling
+ * policy does with it once it is there.
+ *
+ * A `DispatchPolicy` sees one arriving (or requeued) request plus a
+ * `DeviceStatus` snapshot of every device and returns a device index.
+ * Shipped policies:
+ *
+ *  - `round-robin`: rotate through the fleet regardless of state; the
+ *    baseline every balancer must beat.
+ *  - `join-shortest-kv`: route to the device with the most free KV
+ *    budget (ties: fewer queued-plus-resident requests, then lowest
+ *    index). KV
+ *    capacity — not compute — is the binding constraint of edge
+ *    serving, so "shortest queue" is measured in pool bytes: the
+ *    device most able to *admit* the request serves it.
+ *  - `deadline-aware`: TTFT-pressed requests (deadline at or below
+ *    the running mean of the deadlines dispatched so far — an online,
+ *    mix-adaptive threshold) go to the least-loaded device (fewest
+ *    waiting + resident, ties by free KV); relaxed requests fall back
+ *    to round-robin.
+ *
+ * Policies may keep internal state (rotation counters, the deadline
+ * mean); dispatching the same trace to the same fleet is always
+ * deterministic.
+ */
+
+#ifndef KELLE_CLUSTER_DISPATCH_POLICY_HPP
+#define KELLE_CLUSTER_DISPATCH_POLICY_HPP
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace kelle {
+namespace cluster {
+
+enum class DispatchKind
+{
+    RoundRobin,     ///< rotate through the fleet
+    JoinShortestKv, ///< most free KV pool bytes first
+    DeadlineAware,  ///< TTFT-pressed requests to the least loaded
+};
+
+std::string toString(DispatchKind k);
+/**
+ * Parse "round-robin" / "join-shortest-kv" / "deadline-aware" (plus a
+ * few aliases); returns false on unknown input.
+ */
+bool parseDispatchPolicy(const std::string &text, DispatchKind *out);
+/** The valid dispatch names, for CLI errors: "round-robin|...". */
+std::string dispatchPolicyNames();
+/** Every dispatch policy, in enum order (bench/test sweeps). */
+std::vector<DispatchKind> allDispatchPolicies();
+
+/** One device's load, as the dispatcher sees it. */
+struct DeviceStatus
+{
+    double freeKvBytes = 0.0;     ///< pool capacity - reserved
+    double kvCapacityBytes = 0.0; ///< whole pool
+    std::size_t waiting = 0;      ///< queued for admission
+    std::size_t active = 0;       ///< admitted + running
+};
+
+class DispatchPolicy
+{
+  public:
+    virtual ~DispatchPolicy() = default;
+
+    virtual DispatchKind kind() const = 0;
+
+    /** Device index for this request; `devices` is never empty. */
+    virtual std::size_t pick(const serving::Request &r,
+                             const std::vector<DeviceStatus> &devices)
+        = 0;
+};
+
+/** Build the dispatch policy object for a DispatchKind value. */
+std::unique_ptr<DispatchPolicy> makeDispatchPolicy(DispatchKind kind);
+
+} // namespace cluster
+} // namespace kelle
+
+#endif // KELLE_CLUSTER_DISPATCH_POLICY_HPP

@@ -1,0 +1,378 @@
+#include "serving/device_engine.hpp"
+
+#include <algorithm>
+
+#include "accel/capacity.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace kelle {
+namespace serving {
+
+namespace {
+
+/** Extra slack above the protected regions in the budget floor. */
+constexpr std::size_t kFloorSlackTokens = 8;
+
+AllocatorConfig
+makeAllocatorConfig(const DeviceConfig &cfg)
+{
+    AllocatorConfig a;
+    a.bytesPerToken =
+        cfg.model.kvBytesPerToken(cfg.system.kv.kvBits);
+    std::size_t pool = cfg.poolTokens;
+    if (pool == 0) {
+        // §8.4.1: device DRAM net of resident weights bounds the KV
+        // pool shared by all concurrent requests.
+        accel::CapacitySpec spec;
+        spec.dramCapacity = cfg.system.tech.dram.capacity();
+        spec.weightBits = cfg.system.tech.weightBits;
+        spec.kvBits = cfg.system.kv.kvBits;
+        pool = accel::maxSupportedTokens(cfg.model, spec).maxTokens;
+    }
+    KELLE_ASSERT(pool > 0, "KV pool has no room for any token");
+    a.capacityBytes = static_cast<double>(pool) * a.bytesPerToken;
+    a.highWatermark = cfg.highWatermark;
+    return a;
+}
+
+} // namespace
+
+DeviceEngine::DeviceEngine(const DeviceConfig &cfg,
+                           sim::EventQueue &queue,
+                           std::vector<Request> &requests)
+    : cfg_(cfg),
+      label_(cfg.name.empty() ? "" : " [" + cfg.name + "]"),
+      queue_(queue), requests_(requests),
+      allocator_(makeAllocatorConfig(cfg)),
+      policy_(makePolicy(cfg.policy))
+{
+    const std::string err = cfg_.model.validate();
+    KELLE_ASSERT(err.empty(), "bad model config: ", err);
+    KELLE_ASSERT(cfg_.maxBatch > 0, "maxBatch must be positive");
+}
+
+std::size_t
+DeviceEngine::requestedBudget(const sim::Task &task) const
+{
+    // No-eviction baselines hold the full cache: the request must
+    // reserve its whole ctx+dec footprint (+1 for the in-flight
+    // token) and nothing can be shrunk away.
+    if (!cfg_.system.kv.evict)
+        return task.ctxLen + task.decLen + 1;
+    const std::size_t req =
+        cfg_.budgetOverride ? cfg_.budgetOverride : task.budget;
+    return std::max(req, minBudget(task));
+}
+
+std::size_t
+DeviceEngine::minBudget(const sim::Task &task) const
+{
+    if (!cfg_.system.kv.evict)
+        return task.ctxLen + task.decLen + 1;
+    return task.sinkTokens + task.recentWindow + kFloorSlackTokens;
+}
+
+EngineView
+DeviceEngine::view() const
+{
+    return EngineView{queue_.now(),     requests_,
+                      waiting_,         admitted_,
+                      running_,         cfg_.maxBatch,
+                      cfg_.chunkTokens, cfg_.chunkSlackFrac,
+                      lastStep_};
+}
+
+void
+DeviceEngine::enqueue(std::size_t idx)
+{
+    if (grants_.size() < requests_.size())
+        grants_.resize(requests_.size());
+    ++dispatched_;
+    waiting_.push_back(idx);
+    metrics_.sampleQueueDepth(waiting_.size());
+    if (cfg_.verbose) {
+        const Request &r = requests_[idx];
+        if (r.preemptions == 0)
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   r.id, " [", r.task.name, "] arrived (ctx ",
+                   r.task.ctxLen, ", dec ", r.task.decLen,
+                   ", TTFT deadline ",
+                   toString(Time::seconds(r.ttftDeadlineSec)), ")");
+        else
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   r.id, " [", r.task.name,
+                   "] requeued after preemption");
+    }
+    dispatch();
+}
+
+void
+DeviceEngine::dispatch()
+{
+    if (engineBusy_ || truncated_)
+        return;
+    preemptDoomed();
+    admitWaiting();
+    const EngineStepPlan plan = policy_->nextStep(view());
+    if (plan.kind == EngineStepKind::Idle)
+        return;
+    if (cfg_.maxEngineSteps && engineSteps_ >= cfg_.maxEngineSteps) {
+        truncated_ = true;
+        return;
+    }
+    lastStep_ = plan.kind;
+    ++engineSteps_;
+    if (plan.kind == EngineStepKind::PrefillChunk)
+        runPrefillChunk(plan);
+    else
+        runDecodeStep(plan);
+}
+
+void
+DeviceEngine::preemptDoomed()
+{
+    if (!cfg_.preempt.enabled || running_.empty())
+        return;
+    // Reclaim only under *local* demand: dispatch is route-once, so a
+    // waiter queued on another device can never use this device's
+    // freed budget — preempting for remote demand would discard the
+    // victim's tokens and buy nothing.
+    if (waiting_.empty())
+        return;
+    std::vector<std::size_t> victims;
+    for (std::size_t idx : running_) {
+        const Request &r = requests_[idx];
+        if (r.preemptions > 0) // at most once per request
+            continue;
+        if (r.tpotTargetSec <= 0.0 || r.task.decLen == 0 || r.done())
+            continue;
+        const double elapsed = (queue_.now() - r.firstToken).sec();
+        const double doomed_at =
+            cfg_.preempt.doomFactor * r.tpotTargetSec *
+            static_cast<double>(r.task.decLen);
+        if (elapsed > doomed_at)
+            victims.push_back(idx);
+    }
+    for (std::size_t idx : victims) {
+        Request &r = requests_[idx];
+        running_.erase(
+            std::find(running_.begin(), running_.end(), idx));
+        allocator_.release(grants_[idx]);
+        // Reset progress: the KV is gone, prompt and emitted tokens
+        // must rerun. Arrival and first-token timestamps survive, so
+        // the restart is charged as a decode stall and the TPOT miss
+        // stays on the books.
+        ++r.preemptions;
+        r.state = RequestState::Waiting;
+        r.prefilled = 0;
+        r.generated = 0;
+        r.budgetRequested = 0;
+        r.budgetGranted = 0;
+        r.kvBytesReserved = 0.0;
+        metrics_.onPreempted();
+        if (cfg_.verbose)
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   r.id, " preempted (TPOT already unattainable), KV "
+                   "grant reclaimed");
+        // Owners (Scheduler, ClusterEngine) requeue via an immediate
+        // event so the victim re-enters the queue only after this step
+        // boundary completes; the local fallback exists for bare
+        // DeviceEngine use only.
+        if (hooks_.requeue) {
+            hooks_.requeue(idx);
+        } else {
+            waiting_.push_back(idx);
+            metrics_.sampleQueueDepth(waiting_.size());
+        }
+    }
+}
+
+void
+DeviceEngine::rejectRequest(std::size_t idx, std::size_t floor_tokens)
+{
+    Request &r = requests_[idx];
+    r.state = RequestState::Rejected;
+    metrics_.onRejected(r);
+    if (cfg_.verbose)
+        inform("t=", toString(queue_.now()), label_, " request #",
+               r.id, " rejected: floor ", floor_tokens,
+               " tokens exceeds the KV pool");
+}
+
+void
+DeviceEngine::admitWaiting()
+{
+    // Under overload the batch sits at cap on most steps: skip the
+    // order computation (an O(W log W) sort for the reordering
+    // policies) before it could admit anything.
+    const std::size_t cap = policy_->admissionCap(cfg_.maxBatch);
+    if (waiting_.empty() || admitted_.size() + running_.size() >= cap)
+        return;
+    // Snapshot the policy's admission order; entries leave `waiting_`
+    // only through this loop, so each is attempted at most once.
+    const std::vector<std::size_t> order =
+        policy_->admissionOrder(view());
+    std::vector<std::size_t> admitted_now;
+    for (std::size_t idx : order) {
+        if (admitted_.size() + running_.size() >= cap)
+            break;
+
+        Request &r = requests_[idx];
+        // requestedBudget() already clamps to >= the floor.
+        const std::size_t requested = requestedBudget(r.task);
+        const std::size_t floor_tokens = minBudget(r.task);
+        if (floor_tokens > allocator_.capacityTokens()) {
+            // Even an empty pool could never hold the floor.
+            rejectRequest(idx, floor_tokens);
+            waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
+                                     idx));
+            continue;
+        }
+        auto grant = allocator_.tryAdmit(requested, floor_tokens);
+        if (!grant.admitted) {
+            if (policy_->skipBlocked())
+                continue; // later candidates may still fit
+            break;        // head-of-line wait for a release
+        }
+
+        waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
+                                 idx));
+        admitted_now.push_back(idx);
+        r.state = RequestState::Prefilling;
+        // A re-admitted preemption victim keeps its first-life
+        // admission stamp: (admitted - arrival) is the queue-wait
+        // metric, and the victim's first life was service, not queue.
+        if (r.preemptions == 0)
+            r.admitted = queue_.now();
+        r.budgetRequested = requested;
+        r.budgetGranted = grant.budgetTokens;
+        r.kvBytesReserved = grant.bytes;
+        grants_[idx] = grant;
+        admitted_.push_back(idx);
+        metrics_.sampleQueueDepth(waiting_.size());
+        if (cfg_.verbose)
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   r.id, " admitted, N'=", r.budgetGranted,
+                   r.budgetGranted < requested ? " (shrunk)" : "",
+                   ", pool ",
+                   Table::pct(allocator_.utilization()), " full");
+    }
+
+    // Starvation accounting, settled after the round: an admission
+    // overtook only the earlier arrivals it left *still waiting* —
+    // requests admitted later in the same round at the same timestamp
+    // lost nothing and are not counted.
+    for (std::size_t idx : admitted_now) {
+        std::size_t overtaken = 0;
+        for (std::size_t w : waiting_)
+            overtaken += requests_[w].id < requests_[idx].id ? 1 : 0;
+        if (overtaken > 0)
+            metrics_.onBypass(overtaken);
+    }
+}
+
+void
+DeviceEngine::runPrefillChunk(const EngineStepPlan &plan)
+{
+    engineBusy_ = true;
+    ++prefillChunks_;
+    const std::size_t idx = plan.requestIdx;
+    const Request &r = requests_[idx];
+    KELLE_ASSERT(plan.chunkTokens > 0 &&
+                     plan.chunkTokens <= r.remainingPrompt(),
+                 "policy planned an invalid prefill chunk");
+    const auto step = accel::simulatePrefillChunk(
+        cfg_.system, cfg_.model, r.prefilled, plan.chunkTokens);
+    metrics_.addEnergy(step.energy);
+    busy_ = busy_ + step.latency;
+    queue_.scheduleAfter(
+        step.latency, [this, idx, tokens = plan.chunkTokens] {
+            Request &req = requests_[idx];
+            req.prefilled += tokens;
+            if (req.prefillDone()) {
+                admitted_.erase(std::find(admitted_.begin(),
+                                          admitted_.end(), idx));
+                req.state = RequestState::Decoding;
+                if (req.preemptions == 0) {
+                    req.firstToken = queue_.now();
+                    req.lastToken = req.firstToken;
+                } else {
+                    // Restarted victim: the user saw the first token
+                    // in its first life; the restart shows up as one
+                    // long inter-token stall.
+                    req.maxTokenGapSec = std::max(
+                        req.maxTokenGapSec,
+                        (queue_.now() - req.lastToken).sec());
+                    req.lastToken = queue_.now();
+                }
+                running_.push_back(idx);
+                ++prefills_;
+                if (cfg_.verbose && req.preemptions == 0)
+                    inform("t=", toString(queue_.now()), label_,
+                           " request #", req.id, " first token (TTFT ",
+                           toString(req.firstToken - req.arrival),
+                           ", ", metrics_.metTtft(req) ? "met"
+                                                       : "missed",
+                           " deadline), batch ", running_.size());
+                else if (cfg_.verbose)
+                    inform("t=", toString(queue_.now()), label_,
+                           " request #", req.id,
+                           " resumed decoding after preemption, "
+                           "batch ",
+                           running_.size());
+            }
+            engineBusy_ = false;
+            dispatch();
+        });
+}
+
+void
+DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
+{
+    engineBusy_ = true;
+    ++decodeSteps_;
+    std::vector<std::size_t> resident;
+    resident.reserve(plan.decodeBatch.size());
+    for (std::size_t idx : plan.decodeBatch)
+        resident.push_back(requests_[idx].residentTokens());
+    const auto step =
+        accel::simulateBatchedDecodeStep(cfg_.system, cfg_.model, resident);
+    metrics_.addEnergy(step.energy);
+    busy_ = busy_ + step.latency;
+    queue_.scheduleAfter(step.latency, [this,
+                                        batch = plan.decodeBatch] {
+        for (std::size_t idx : batch) {
+            Request &r = requests_[idx];
+            ++r.generated;
+            r.maxTokenGapSec = std::max(
+                r.maxTokenGapSec, (queue_.now() - r.lastToken).sec());
+            r.lastToken = queue_.now();
+            if (r.done()) {
+                finishRequest(idx);
+                running_.erase(std::find(running_.begin(),
+                                         running_.end(), idx));
+            }
+        }
+        engineBusy_ = false;
+        dispatch();
+    });
+}
+
+void
+DeviceEngine::finishRequest(std::size_t idx)
+{
+    Request &r = requests_[idx];
+    r.state = RequestState::Completed;
+    r.completed = queue_.now();
+    lastCompletion_ = std::max(lastCompletion_, r.completed);
+    allocator_.release(grants_[idx]);
+    metrics_.onCompleted(r);
+    if (cfg_.verbose)
+        inform("t=", toString(queue_.now()), label_, " request #",
+               r.id, " completed (", r.generated, " tokens, e2e ",
+               toString(r.completed - r.arrival), ")");
+}
+
+} // namespace serving
+} // namespace kelle

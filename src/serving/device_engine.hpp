@@ -1,0 +1,200 @@
+/**
+ * @file
+ * One device's engine-step executor, extracted from the single-device
+ * `Scheduler` so a cluster can run N of them over one shared
+ * `sim::EventQueue` (src/cluster). The executor owns everything that
+ * is per-accelerator — the KV-budget allocator, the policy instance,
+ * the waiting/admitted/running queues, the step counters and the SLO
+ * metrics — while the *owner* (Scheduler or ClusterEngine) owns the
+ * request table, the event queue, and the arrival routing.
+ *
+ * The step loop is unchanged from the PR 3 pipeline: at every step
+ * boundary the engine (1) optionally reclaims deadline-doomed decodes
+ * (preempt-and-requeue, below), (2) offers waiting requests to the
+ * allocator in the policy's admission order, and (3) executes the
+ * `EngineStepPlan` the policy emits — one prefill chunk or one batched
+ * decode iteration, costed by the accel timing model. Requests enter
+ * through `enqueue(idx)`, which is what the owner calls from its
+ * arrival (or re-dispatch) events.
+ *
+ * Preempt-and-requeue (`PreemptConfig`): when enabled and this device
+ * has waiting demand (dispatch is route-once, so only local waiters
+ * can use the freed budget), a running decode whose TPOT target is
+ * *already
+ * unattainable* — elapsed decode time alone exceeds
+ * `doomFactor x tpotTarget x decLen`, so even an instant finish would
+ * miss — has its KV grant reclaimed and its progress reset, and is
+ * handed back through `Hooks::requeue` (the cluster re-dispatches it,
+ * possibly to another device) or requeued locally. The request keeps
+ * its original arrival and first-token timestamps, so the restart is
+ * charged as a decode stall and the TPOT miss stays on the books; each
+ * request is preempted at most once, so traces always drain.
+ */
+
+#ifndef KELLE_SERVING_DEVICE_ENGINE_HPP
+#define KELLE_SERVING_DEVICE_ENGINE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/timing_model.hpp"
+#include "model/model_config.hpp"
+#include "serving/engine_step.hpp"
+#include "serving/kv_budget_allocator.hpp"
+#include "serving/policy.hpp"
+#include "serving/request.hpp"
+#include "serving/serving_metrics.hpp"
+#include "sim/event_queue.hpp"
+
+namespace kelle {
+namespace serving {
+
+/** Deadline-doomed decode reclamation knob. */
+struct PreemptConfig
+{
+    bool enabled = false;
+    /**
+     * A decode is doomed once its elapsed decode time exceeds
+     * `doomFactor x tpotTarget x decLen` with tokens still to emit:
+     * even finishing instantly would miss the TPOT target. Values
+     * above 1 preempt later (more certain, less reclaimed); below 1
+     * preempt speculatively.
+     */
+    double doomFactor = 1.0;
+};
+
+/** Everything per-accelerator about a serving engine. */
+struct DeviceConfig
+{
+    /** Verbose-log label; empty for the single-device engine. */
+    std::string name;
+    accel::SystemConfig system = accel::kelleEdramSystem(2048);
+    model::ModelConfig model = model::llama2_7b();
+    SchedulePolicy policy = SchedulePolicy::ContinuousBatching;
+    std::size_t maxBatch = 16;
+    std::size_t chunkTokens = 0;
+    std::size_t budgetOverride = 0;
+    std::size_t poolTokens = 0;
+    double highWatermark = 0.85;
+    /** EdfChunked slack-aware alternation (see policy.hpp); 0 = off. */
+    double chunkSlackFrac = 0.0;
+    PreemptConfig preempt;
+    /** Safety cap on this device's engine steps; 0 = unlimited. */
+    std::uint64_t maxEngineSteps = 0;
+    bool verbose = false;
+};
+
+class DeviceEngine
+{
+  public:
+    /** Owner callbacks wired by the cluster (optional). */
+    struct Hooks
+    {
+        /** Re-dispatch a preempted victim; local requeue when null. */
+        std::function<void(std::size_t idx)> requeue;
+    };
+
+    /**
+     * Bind the engine to the owner's event queue and request table.
+     * Both must outlive the engine; `requests` may grow only before
+     * the first `enqueue`.
+     */
+    DeviceEngine(const DeviceConfig &cfg, sim::EventQueue &queue,
+                 std::vector<Request> &requests);
+
+    void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /** Hand an arrived (or requeued) request to this device. */
+    void enqueue(std::size_t idx);
+
+    /** @name Status for dispatch policies and roll-ups. @{ */
+    const DeviceConfig &config() const { return cfg_; }
+    const KvBudgetAllocator &allocator() const { return allocator_; }
+    double freeKvBytes() const
+    {
+        return allocator_.capacityBytes() - allocator_.inUseBytes();
+    }
+    std::size_t waitingCount() const { return waiting_.size(); }
+    /** Admitted + running requests resident on the device. */
+    std::size_t activeCount() const
+    {
+        return admitted_.size() + running_.size();
+    }
+    /**
+     * Whether this device's whole KV pool can ever hold the request's
+     * protected budget floor. False means enqueueing here guarantees
+     * rejection, however empty the pool — the dispatcher uses this to
+     * avoid turning a serveable request into a permanent reject.
+     */
+    bool
+    canEverAdmit(const Request &r) const
+    {
+        return minBudget(r.task) <= allocator_.capacityTokens();
+    }
+    std::size_t dispatched() const { return dispatched_; }
+    /** @} */
+
+    /** @name Run outcome, read by the owner after the queue drains. @{ */
+    const ServingMetrics &metrics() const { return metrics_; }
+    std::uint64_t engineSteps() const { return engineSteps_; }
+    std::uint64_t decodeSteps() const { return decodeSteps_; }
+    std::uint64_t prefillChunks() const { return prefillChunks_; }
+    std::uint64_t prefills() const { return prefills_; }
+    Time lastCompletion() const { return lastCompletion_; }
+    /** Wall-clock the accelerator spent executing engine steps. */
+    Time busyTime() const { return busy_; }
+    bool truncated() const { return truncated_; }
+    /** Trace fully served: not truncated and all queues empty. */
+    bool drained() const
+    {
+        return !truncated_ && waiting_.empty() && admitted_.empty() &&
+               running_.empty();
+    }
+    /** @} */
+
+  private:
+    void dispatch();
+    void preemptDoomed();
+    void admitWaiting();
+    void runPrefillChunk(const EngineStepPlan &plan);
+    void runDecodeStep(const EngineStepPlan &plan);
+    void finishRequest(std::size_t idx);
+    void rejectRequest(std::size_t idx, std::size_t floor_tokens);
+    EngineView view() const;
+    std::size_t requestedBudget(const sim::Task &task) const;
+    std::size_t minBudget(const sim::Task &task) const;
+
+    DeviceConfig cfg_;
+    std::string label_; ///< " [name]" verbose-log infix, "" if unnamed
+    sim::EventQueue &queue_;
+    std::vector<Request> &requests_;
+    KvBudgetAllocator allocator_;
+    ServingMetrics metrics_;
+    std::unique_ptr<Policy> policy_;
+    Hooks hooks_;
+
+    std::vector<KvBudgetAllocator::Grant> grants_;
+    std::deque<std::size_t> waiting_;  ///< arrived, not admitted
+    std::deque<std::size_t> admitted_; ///< granted, prompt unfinished
+    std::vector<std::size_t> running_; ///< decode-batch members
+
+    bool engineBusy_ = false;
+    bool truncated_ = false;
+    EngineStepKind lastStep_ = EngineStepKind::Idle;
+    std::size_t dispatched_ = 0;
+    std::uint64_t engineSteps_ = 0;
+    std::uint64_t decodeSteps_ = 0;
+    std::uint64_t prefillChunks_ = 0;
+    std::uint64_t prefills_ = 0;
+    Time lastCompletion_;
+    Time busy_;
+};
+
+} // namespace serving
+} // namespace kelle
+
+#endif // KELLE_SERVING_DEVICE_ENGINE_HPP

@@ -168,16 +168,11 @@ class EdfChunkedPolicy final : public Policy
         // decode batch one iteration before the next chunk, so chunked
         // long prompts neither stall decode nor get starved by it.
         EngineStepPlan plan;
-        if (!v.running.empty() && !v.admitted.empty() &&
-            v.lastStep == EngineStepKind::PrefillChunk) {
-            plan.kind = EngineStepKind::DecodeStep;
-            plan.decodeBatch = v.running;
-            return plan;
-        }
+        // Chunk the admitted request with the earliest deadline:
+        // chunk-level preemption of long prefills by urgent work.
+        std::size_t pick = 0;
         if (!v.admitted.empty()) {
-            // Chunk the admitted request with the earliest deadline:
-            // chunk-level preemption of long prefills by urgent work.
-            std::size_t pick = v.admitted.front();
+            pick = v.admitted.front();
             for (std::size_t idx : v.admitted) {
                 const double d = deadlineSec(v.requests[idx]);
                 const double best = deadlineSec(v.requests[pick]);
@@ -186,8 +181,28 @@ class EdfChunkedPolicy final : public Policy
                      v.requests[idx].id < v.requests[pick].id))
                     pick = idx;
             }
-            return prefillPriorityStep(v, pick);
         }
+        // Slack-aware alternation: a prefill whose TTFT slack has run
+        // short keeps the machine for consecutive chunks instead of
+        // yielding to decode, trading a bounded decode stall for the
+        // knee-regime TTFT tax. Off (and bit-exact) at frac 0.
+        bool pressed = false;
+        if (v.chunkSlackFrac > 0.0 && !v.admitted.empty()) {
+            const Request &r = v.requests[pick];
+            if (r.ttftDeadlineSec > 0.0) {
+                const double slack = deadlineSec(r) - v.now.sec();
+                pressed = slack <
+                          v.chunkSlackFrac * r.ttftDeadlineSec;
+            }
+        }
+        if (!v.running.empty() && !v.admitted.empty() &&
+            v.lastStep == EngineStepKind::PrefillChunk && !pressed) {
+            plan.kind = EngineStepKind::DecodeStep;
+            plan.decodeBatch = v.running;
+            return plan;
+        }
+        if (!v.admitted.empty())
+            return prefillPriorityStep(v, pick);
         if (!v.running.empty()) {
             plan.kind = EngineStepKind::DecodeStep;
             plan.decodeBatch = v.running;

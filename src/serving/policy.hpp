@@ -26,6 +26,9 @@
  *  - `EdfChunked`: earliest-TTFT-deadline-first admission and chunk
  *    selection, alternating prefill chunks with decode iterations so
  *    neither TTFT nor TPOT stalls behind the other (Sarathi-style).
+ *    With `EngineView::chunkSlackFrac > 0` the alternation is
+ *    slack-aware: a prefill whose TTFT slack has run short runs its
+ *    chunks back to back instead of yielding to decode.
  */
 
 #ifndef KELLE_SERVING_POLICY_HPP
@@ -79,6 +82,15 @@ struct EngineView
     std::size_t maxBatch = 1;
     /** Prefill chunk size in prompt tokens; 0 = whole prompt. */
     std::size_t chunkTokens = 0;
+    /**
+     * Slack-aware chunk alternation (EdfChunked): when the prefilling
+     * request's remaining TTFT slack falls below this fraction of its
+     * whole TTFT budget, consecutive prefill chunks run back to back
+     * instead of alternating with decode steps, recovering the
+     * knee-regime TTFT tax of unconditional alternation. 0 disables
+     * the rule and preserves the unconditional alternation bit-exactly.
+     */
+    double chunkSlackFrac = 0.0;
     /** Kind of the engine step that ran last (Idle before the first). */
     EngineStepKind lastStep = EngineStepKind::Idle;
 };

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 
-#include "accel/capacity.hpp"
 #include "common/log.hpp"
-#include "common/table.hpp"
 
 namespace kelle {
 namespace serving {
@@ -27,304 +25,83 @@ toString(RequestState s)
     return "?";
 }
 
-namespace {
-
-/** Extra slack above the protected regions in the budget floor. */
-constexpr std::size_t kFloorSlackTokens = 8;
-
-AllocatorConfig
-makeAllocatorConfig(const ServingConfig &cfg)
+DeviceConfig
+deviceConfigFrom(const ServingConfig &cfg)
 {
-    AllocatorConfig a;
-    a.bytesPerToken =
-        cfg.model.kvBytesPerToken(cfg.system.kv.kvBits);
-    std::size_t pool = cfg.poolTokens;
-    if (pool == 0) {
-        // §8.4.1: device DRAM net of resident weights bounds the KV
-        // pool shared by all concurrent requests.
-        accel::CapacitySpec spec;
-        spec.dramCapacity = cfg.system.tech.dram.capacity();
-        spec.weightBits = cfg.system.tech.weightBits;
-        spec.kvBits = cfg.system.kv.kvBits;
-        pool = accel::maxSupportedTokens(cfg.model, spec).maxTokens;
-    }
-    KELLE_ASSERT(pool > 0, "KV pool has no room for any token");
-    a.capacityBytes = static_cast<double>(pool) * a.bytesPerToken;
-    a.highWatermark = cfg.highWatermark;
-    return a;
+    DeviceConfig d;
+    d.system = cfg.system;
+    d.model = cfg.model;
+    d.policy = cfg.policy;
+    d.maxBatch = cfg.maxBatch;
+    d.chunkTokens = cfg.chunkTokens;
+    d.chunkSlackFrac = cfg.chunkSlackFrac;
+    d.preempt = cfg.preempt;
+    d.budgetOverride = cfg.budgetOverride;
+    d.poolTokens = cfg.poolTokens;
+    d.highWatermark = cfg.highWatermark;
+    d.maxEngineSteps = cfg.maxEngineSteps;
+    d.verbose = cfg.verbose;
+    return d;
 }
 
-} // namespace
-
-Scheduler::Scheduler(const ServingConfig &cfg)
-    : cfg_(cfg), allocator_(makeAllocatorConfig(cfg)),
-      policy_(makePolicy(cfg.policy))
+Scheduler::Scheduler(const ServingConfig &cfg) : cfg_(cfg)
 {
-    const std::string err = cfg_.model.validate();
-    KELLE_ASSERT(err.empty(), "bad model config: ", err);
-    KELLE_ASSERT(cfg_.maxBatch > 0, "maxBatch must be positive");
+    device_ = std::make_unique<DeviceEngine>(deviceConfigFrom(cfg_),
+                                             queue_, requests_);
+    // Requeue preemption victims through an immediate event, exactly
+    // like ClusterEngine does for its devices: the victim re-enters
+    // the queue after the current step boundary completes. Using the
+    // same mechanism keeps a 1-device cluster bit-identical to this
+    // engine with the preempt knob on as well as off.
+    DeviceEngine::Hooks hooks;
+    hooks.requeue = [this](std::size_t idx) {
+        queue_.schedule(queue_.now(),
+                        [this, idx] { device_->enqueue(idx); });
+    };
+    device_->setHooks(std::move(hooks));
 }
 
-std::size_t
-Scheduler::requestedBudget(const sim::Task &task) const
+const ServingMetrics &
+Scheduler::metrics() const
 {
-    // No-eviction baselines hold the full cache: the request must
-    // reserve its whole ctx+dec footprint (+1 for the in-flight
-    // token) and nothing can be shrunk away.
-    if (!cfg_.system.kv.evict)
-        return task.ctxLen + task.decLen + 1;
-    const std::size_t req =
-        cfg_.budgetOverride ? cfg_.budgetOverride : task.budget;
-    return std::max(req, minBudget(task));
+    return device_->metrics();
 }
 
-std::size_t
-Scheduler::minBudget(const sim::Task &task) const
+ServingReport
+deviceReport(const DeviceEngine &dev, Time makespan)
 {
-    if (!cfg_.system.kv.evict)
-        return task.ctxLen + task.decLen + 1;
-    return task.sinkTokens + task.recentWindow + kFloorSlackTokens;
-}
-
-EngineView
-Scheduler::view() const
-{
-    return EngineView{queue_.now(), requests_,       waiting_,
-                      admitted_,    running_,        cfg_.maxBatch,
-                      cfg_.chunkTokens, lastStep_};
+    ServingReport rep;
+    rep.summary = dev.metrics().summarize(makespan);
+    rep.engineSteps = dev.engineSteps();
+    rep.decodeSteps = dev.decodeSteps();
+    rep.prefillChunks = dev.prefillChunks();
+    rep.prefills = dev.prefills();
+    rep.poolTokens = dev.allocator().capacityTokens();
+    rep.poolCapacityBytes = dev.allocator().capacityBytes();
+    rep.poolPeakBytes = dev.allocator().peakInUseBytes();
+    rep.shrunkGrants = dev.allocator().shrunkGrants();
+    rep.deferrals = dev.allocator().deferrals();
+    rep.drained = dev.drained();
+    return rep;
 }
 
 ServingReport
 Scheduler::run()
 {
     requests_ = generateTrace(cfg_.traffic);
-    grants_.assign(requests_.size(), KvBudgetAllocator::Grant{});
     for (std::size_t i = 0; i < requests_.size(); ++i) {
         queue_.schedule(requests_[i].arrival,
-                        [this, i] { onArrival(i); });
+                        [this, i] { device_->enqueue(i); });
     }
     queue_.runAll();
 
     // Makespan is first arrival to last completion; the idle lead-in
     // before the first arrival is not serving time.
     Time makespan;
-    if (lastCompletion_.sec() > 0.0)
-        makespan = lastCompletion_ - requests_.front().arrival;
-
-    ServingReport rep;
-    rep.summary = metrics_.summarize(makespan);
-    rep.engineSteps = engineSteps_;
-    rep.decodeSteps = decodeSteps_;
-    rep.prefillChunks = prefillChunks_;
-    rep.prefills = prefills_;
-    rep.poolTokens = allocator_.capacityTokens();
-    rep.poolCapacityBytes = allocator_.capacityBytes();
-    rep.poolPeakBytes = allocator_.peakInUseBytes();
-    rep.shrunkGrants = allocator_.shrunkGrants();
-    rep.deferrals = allocator_.deferrals();
-    rep.drained = !truncated_ && waiting_.empty() &&
-                  admitted_.empty() && running_.empty();
-    return rep;
-}
-
-void
-Scheduler::onArrival(std::size_t idx)
-{
-    waiting_.push_back(idx);
-    metrics_.sampleQueueDepth(waiting_.size());
-    if (cfg_.verbose) {
-        const Request &r = requests_[idx];
-        inform("t=", toString(queue_.now()), " request #", r.id, " [",
-               r.task.name, "] arrived (ctx ", r.task.ctxLen, ", dec ",
-               r.task.decLen, ", TTFT deadline ",
-               toString(Time::seconds(r.ttftDeadlineSec)), ")");
-    }
-    dispatch();
-}
-
-void
-Scheduler::dispatch()
-{
-    if (engineBusy_ || truncated_)
-        return;
-    admitWaiting();
-    const EngineStepPlan plan = policy_->nextStep(view());
-    if (plan.kind == EngineStepKind::Idle)
-        return;
-    if (cfg_.maxEngineSteps && engineSteps_ >= cfg_.maxEngineSteps) {
-        truncated_ = true;
-        return;
-    }
-    lastStep_ = plan.kind;
-    ++engineSteps_;
-    if (plan.kind == EngineStepKind::PrefillChunk)
-        runPrefillChunk(plan);
-    else
-        runDecodeStep(plan);
-}
-
-void
-Scheduler::rejectRequest(std::size_t idx, std::size_t floor_tokens)
-{
-    Request &r = requests_[idx];
-    r.state = RequestState::Rejected;
-    metrics_.onRejected(r);
-    if (cfg_.verbose)
-        inform("t=", toString(queue_.now()), " request #", r.id,
-               " rejected: floor ", floor_tokens,
-               " tokens exceeds the KV pool");
-}
-
-void
-Scheduler::admitWaiting()
-{
-    // Under overload the batch sits at cap on most steps: skip the
-    // order computation (an O(W log W) sort for the reordering
-    // policies) before it could admit anything.
-    const std::size_t cap = policy_->admissionCap(cfg_.maxBatch);
-    if (waiting_.empty() || admitted_.size() + running_.size() >= cap)
-        return;
-    // Snapshot the policy's admission order; entries leave `waiting_`
-    // only through this loop, so each is attempted at most once.
-    const std::vector<std::size_t> order =
-        policy_->admissionOrder(view());
-    std::vector<std::size_t> admitted_now;
-    for (std::size_t idx : order) {
-        if (admitted_.size() + running_.size() >= cap)
-            break;
-
-        Request &r = requests_[idx];
-        // requestedBudget() already clamps to >= the floor.
-        const std::size_t requested = requestedBudget(r.task);
-        const std::size_t floor_tokens = minBudget(r.task);
-        if (floor_tokens > allocator_.capacityTokens()) {
-            // Even an empty pool could never hold the floor.
-            rejectRequest(idx, floor_tokens);
-            waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
-                                     idx));
-            continue;
-        }
-        auto grant = allocator_.tryAdmit(requested, floor_tokens);
-        if (!grant.admitted) {
-            if (policy_->skipBlocked())
-                continue; // later candidates may still fit
-            break;        // head-of-line wait for a release
-        }
-
-        waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
-                                 idx));
-        admitted_now.push_back(idx);
-        r.state = RequestState::Prefilling;
-        r.admitted = queue_.now();
-        r.budgetRequested = requested;
-        r.budgetGranted = grant.budgetTokens;
-        r.kvBytesReserved = grant.bytes;
-        grants_[idx] = grant;
-        admitted_.push_back(idx);
-        metrics_.sampleQueueDepth(waiting_.size());
-        if (cfg_.verbose)
-            inform("t=", toString(queue_.now()), " request #", r.id,
-                   " admitted, N'=", r.budgetGranted,
-                   r.budgetGranted < requested ? " (shrunk)" : "",
-                   ", pool ",
-                   Table::pct(allocator_.utilization()), " full");
-    }
-
-    // Starvation accounting, settled after the round: an admission
-    // overtook only the earlier arrivals it left *still waiting* —
-    // requests admitted later in the same round at the same timestamp
-    // lost nothing and are not counted.
-    for (std::size_t idx : admitted_now) {
-        std::size_t overtaken = 0;
-        for (std::size_t w : waiting_)
-            overtaken += requests_[w].id < requests_[idx].id ? 1 : 0;
-        if (overtaken > 0)
-            metrics_.onBypass(overtaken);
-    }
-}
-
-void
-Scheduler::runPrefillChunk(const EngineStepPlan &plan)
-{
-    engineBusy_ = true;
-    ++prefillChunks_;
-    const std::size_t idx = plan.requestIdx;
-    const Request &r = requests_[idx];
-    KELLE_ASSERT(plan.chunkTokens > 0 &&
-                     plan.chunkTokens <= r.remainingPrompt(),
-                 "policy planned an invalid prefill chunk");
-    const auto step = accel::simulatePrefillChunk(
-        cfg_.system, cfg_.model, r.prefilled, plan.chunkTokens);
-    metrics_.addEnergy(step.energy);
-    queue_.scheduleAfter(
-        step.latency, [this, idx, tokens = plan.chunkTokens] {
-            Request &req = requests_[idx];
-            req.prefilled += tokens;
-            if (req.prefillDone()) {
-                admitted_.erase(std::find(admitted_.begin(),
-                                          admitted_.end(), idx));
-                req.state = RequestState::Decoding;
-                req.firstToken = queue_.now();
-                req.lastToken = req.firstToken;
-                running_.push_back(idx);
-                ++prefills_;
-                if (cfg_.verbose)
-                    inform("t=", toString(queue_.now()), " request #",
-                           req.id, " first token (TTFT ",
-                           toString(req.firstToken - req.arrival),
-                           ", ", metrics_.metTtft(req) ? "met"
-                                                       : "missed",
-                           " deadline), batch ", running_.size());
-            }
-            engineBusy_ = false;
-            dispatch();
-        });
-}
-
-void
-Scheduler::runDecodeStep(const EngineStepPlan &plan)
-{
-    engineBusy_ = true;
-    ++decodeSteps_;
-    std::vector<std::size_t> resident;
-    resident.reserve(plan.decodeBatch.size());
-    for (std::size_t idx : plan.decodeBatch)
-        resident.push_back(requests_[idx].residentTokens());
-    const auto step =
-        accel::simulateBatchedDecodeStep(cfg_.system, cfg_.model, resident);
-    metrics_.addEnergy(step.energy);
-    queue_.scheduleAfter(step.latency, [this,
-                                        batch = plan.decodeBatch] {
-        for (std::size_t idx : batch) {
-            Request &r = requests_[idx];
-            ++r.generated;
-            r.maxTokenGapSec = std::max(
-                r.maxTokenGapSec, (queue_.now() - r.lastToken).sec());
-            r.lastToken = queue_.now();
-            if (r.done()) {
-                finishRequest(idx);
-                running_.erase(std::find(running_.begin(),
-                                         running_.end(), idx));
-            }
-        }
-        engineBusy_ = false;
-        dispatch();
-    });
-}
-
-void
-Scheduler::finishRequest(std::size_t idx)
-{
-    Request &r = requests_[idx];
-    r.state = RequestState::Completed;
-    r.completed = queue_.now();
-    lastCompletion_ = std::max(lastCompletion_, r.completed);
-    allocator_.release(grants_[idx]);
-    metrics_.onCompleted(r);
-    if (cfg_.verbose)
-        inform("t=", toString(queue_.now()), " request #", r.id,
-               " completed (", r.generated, " tokens, e2e ",
-               toString(r.completed - r.arrival), ")");
+    if (device_->lastCompletion().sec() > 0.0)
+        makespan = device_->lastCompletion() -
+                   requests_.front().arrival;
+    return deviceReport(*device_, makespan);
 }
 
 } // namespace serving

@@ -1,26 +1,20 @@
 /**
  * @file
- * The engine-step executor of the serving pipeline.
+ * The single-device serving engine: one arrival trace played through
+ * one `DeviceEngine` executor.
  *
  * The serving engine is split into three parts (see policy.hpp and
  * serving_metrics.hpp for the other two):
  *
- *   Policy  --EngineStepPlan-->  Scheduler (executor)  -->  Metrics
+ *   Policy  --EngineStepPlan-->  DeviceEngine (executor)  -->  Metrics
  *
- * A `Scheduler` owns a `sim::EventQueue` and plays an arrival trace
- * through the accelerator one *engine step* at a time. At every step
- * boundary it (1) offers waiting requests to the KvBudgetAllocator in
- * the order its `Policy` chose — either head-of-line (FIFO policies)
- * or skip-blocked (reordering policies, which bypass a request whose
- * budget does not fit and charge an admission-bypass counter for every
- * earlier arrival they overtake) — and (2) executes the step the
- * policy planned: one request's next prefill *chunk* (costed by
- * accel::simulatePrefillChunk at the request's current KV offset, so
- * long prompts can interleave with decode Sarathi-style) or one decode
- * iteration over the continuous batch (accel::simulateBatchedDecodeStep,
- * which amortizes the weight stream across the batch). The accelerator
- * runs one step at a time; work never overlaps in wall-clock, so
- * policies differ only in the plans they emit.
+ * Since PR 4 the executor lives in device_engine.hpp so that the
+ * multi-device cluster (src/cluster) can run N of them over one shared
+ * event queue; `Scheduler` is the one-device owner: it generates the
+ * trace, schedules every arrival into its single `DeviceEngine`, runs
+ * the queue to completion and summarizes. A 1-device ClusterEngine
+ * under any dispatch policy reproduces a `Scheduler` run bit-exactly,
+ * because both drive the same executor the same way.
  *
  * Admission flows through KvBudgetAllocator: a request is admitted
  * only if its AERP budget N' (possibly shrunk under eviction
@@ -33,16 +27,11 @@
 #define KELLE_SERVING_SCHEDULER_HPP
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "accel/timing_model.hpp"
-#include "model/model_config.hpp"
-#include "serving/engine_step.hpp"
-#include "serving/kv_budget_allocator.hpp"
-#include "serving/policy.hpp"
+#include "serving/device_engine.hpp"
 #include "serving/request.hpp"
 #include "serving/request_generator.hpp"
 #include "serving/serving_metrics.hpp"
@@ -68,6 +57,16 @@ struct ServingConfig
      * weights once per chunk.
      */
     std::size_t chunkTokens = 0;
+    /**
+     * EdfChunked slack-aware alternation: run consecutive prefill
+     * chunks when the prefilling request's TTFT slack is below this
+     * fraction of its whole TTFT budget. 0 keeps the unconditional
+     * alternation bit-exactly.
+     */
+    double chunkSlackFrac = 0.0;
+    /** Preempt-and-requeue of deadline-doomed decodes (off by
+     *  default; the cluster exposes it as a fleet-level knob). */
+    PreemptConfig preempt;
     /** Per-request budget override; 0 keeps each task's N'. */
     std::size_t budgetOverride = 0;
     /**
@@ -83,6 +82,9 @@ struct ServingConfig
     /** inform() per-request lifecycle lines (examples/edge_server). */
     bool verbose = false;
 };
+
+/** The per-device slice of a ServingConfig, for the executor. */
+DeviceConfig deviceConfigFrom(const ServingConfig &cfg);
 
 /** Run outcome: SLO summary plus engine/allocator accounting. */
 struct ServingReport
@@ -101,6 +103,13 @@ struct ServingReport
     bool drained = true;
 };
 
+/**
+ * One device's ServingReport, summarized over `makespan`. The single
+ * fill path shared by Scheduler and the cluster roll-up, so the two
+ * cannot disagree field-by-field.
+ */
+ServingReport deviceReport(const DeviceEngine &dev, Time makespan);
+
 class Scheduler
 {
   public:
@@ -110,40 +119,13 @@ class Scheduler
     ServingReport run();
 
     /** Per-request records after run() (completed requests only). */
-    const ServingMetrics &metrics() const { return metrics_; }
+    const ServingMetrics &metrics() const;
 
   private:
-    void onArrival(std::size_t idx);
-    void admitWaiting();
-    void dispatch();
-    void runPrefillChunk(const EngineStepPlan &plan);
-    void runDecodeStep(const EngineStepPlan &plan);
-    void finishRequest(std::size_t idx);
-    void rejectRequest(std::size_t idx, std::size_t floor_tokens);
-    EngineView view() const;
-    std::size_t requestedBudget(const sim::Task &task) const;
-    std::size_t minBudget(const sim::Task &task) const;
-
     ServingConfig cfg_;
     sim::EventQueue queue_;
-    KvBudgetAllocator allocator_;
-    ServingMetrics metrics_;
-    std::unique_ptr<Policy> policy_;
-
     std::vector<Request> requests_;
-    std::vector<KvBudgetAllocator::Grant> grants_;
-    std::deque<std::size_t> waiting_;  ///< arrived, not admitted
-    std::deque<std::size_t> admitted_; ///< granted, prompt unfinished
-    std::vector<std::size_t> running_; ///< decode-batch members
-
-    bool engineBusy_ = false;
-    bool truncated_ = false;
-    EngineStepKind lastStep_ = EngineStepKind::Idle;
-    std::uint64_t engineSteps_ = 0;
-    std::uint64_t decodeSteps_ = 0;
-    std::uint64_t prefillChunks_ = 0;
-    std::uint64_t prefills_ = 0;
-    Time lastCompletion_;
+    std::unique_ptr<DeviceEngine> device_;
 };
 
 } // namespace serving

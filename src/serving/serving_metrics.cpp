@@ -43,6 +43,26 @@ ServingMetrics::onBypass(std::size_t overtaken)
     bypasses_ += overtaken;
 }
 
+void
+ServingMetrics::onPreempted()
+{
+    ++preemptions_;
+}
+
+void
+ServingMetrics::merge(const ServingMetrics &other)
+{
+    completed_.insert(completed_.end(), other.completed_.begin(),
+                      other.completed_.end());
+    rejected_ += other.rejected_;
+    bypasses_ += other.bypasses_;
+    preemptions_ += other.preemptions_;
+    energy_ += other.energy_;
+    queueDepthSum_ += other.queueDepthSum_;
+    queueDepthSamples_ += other.queueDepthSamples_;
+    maxQueueDepth_ = std::max(maxQueueDepth_, other.maxQueueDepth_);
+}
+
 bool
 ServingMetrics::metTtft(const Request &r)
 {
@@ -84,6 +104,7 @@ ServingMetrics::summarize(Time makespan) const
     s.makespan = makespan;
     s.energy = energy_;
     s.admissionBypasses = bypasses_;
+    s.preemptions = preemptions_;
     if (queueDepthSamples_ > 0) {
         s.meanQueueDepth =
             queueDepthSum_ / static_cast<double>(queueDepthSamples_);

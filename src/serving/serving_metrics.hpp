@@ -99,6 +99,14 @@ struct ServingSummary
     double maxQueueWaitSec = 0.0;
     /** @} */
 
+    /**
+     * Decode preemptions (deadline-doomed budget reclamation): a
+     * running decode past the point where its TPOT target was already
+     * unattainable had its KV grant reclaimed and was requeued for
+     * re-dispatch. 0 unless the preempt knob is enabled.
+     */
+    std::uint64_t preemptions = 0;
+
     double meanQueueDepth = 0.0;
     std::size_t maxQueueDepth = 0;
 
@@ -124,6 +132,16 @@ class ServingMetrics
     void addEnergy(const accel::EnergyBreakdown &e);
     /** Record an admission that overtook `overtaken` earlier arrivals. */
     void onBypass(std::size_t overtaken);
+    /** Record a deadline-doomed decode preemption (grant reclaimed). */
+    void onPreempted();
+    /**
+     * Fold another device's records into this one: completed requests
+     * are appended in the other's order, counters and energy add, and
+     * extrema take the max. The cluster roll-up merges every device
+     * into one ServingMetrics and summarizes once, so a one-device
+     * merge is bit-identical to summarizing the device directly.
+     */
+    void merge(const ServingMetrics &other);
 
     /** TTFT-deadline check for a completed request (0 = disabled). */
     static bool metTtft(const Request &r);
@@ -144,6 +162,7 @@ class ServingMetrics
     std::vector<Request> completed_;
     std::size_t rejected_ = 0;
     std::uint64_t bypasses_ = 0;
+    std::uint64_t preemptions_ = 0;
     accel::EnergyBreakdown energy_;
     double queueDepthSum_ = 0.0;
     std::size_t queueDepthSamples_ = 0;
