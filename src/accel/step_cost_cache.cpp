@@ -1,0 +1,76 @@
+#include "accel/step_cost_cache.hpp"
+
+#include <algorithm>
+
+namespace kelle {
+namespace accel {
+
+StepCostCache::StepCostCache(const SystemConfig &sys,
+                             const model::ModelConfig &m,
+                             std::size_t max_entries)
+    : sys_(sys), model_(m), maxEntries_(max_entries)
+{
+}
+
+const StepReport &
+StepCostCache::batchedDecodeStep(
+    const std::vector<std::size_t> &resident_tokens)
+{
+    std::size_t n_sum = 0;
+    for (std::size_t n : resident_tokens)
+        n_sum += n;
+    const std::pair<std::size_t, std::size_t> key{
+        resident_tokens.size(), n_sum};
+    const auto it = decode_.find(key);
+    if (it != decode_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    if (decode_.size() >= maxEntries_) {
+        ++stats_.bypasses;
+        overflow_ =
+            simulateBatchedDecodeStep(sys_, model_, resident_tokens);
+        return overflow_;
+    }
+    ++stats_.misses;
+    // Computed from the caller's member distribution; any batch with
+    // the same (B, N) key produces these exact doubles (see the
+    // header note on the exact affine summation).
+    const StepReport rep =
+        simulateBatchedDecodeStep(sys_, model_, resident_tokens);
+    return decode_.emplace(key, rep).first->second;
+}
+
+const StepReport *
+StepCostCache::findBatchedDecode(std::size_t batch, std::size_t n_sum)
+{
+    const auto it = decode_.find({batch, n_sum});
+    if (it == decode_.end())
+        return nullptr;
+    ++stats_.hits;
+    return &it->second;
+}
+
+const StepReport &
+StepCostCache::prefillChunk(std::size_t kv_offset, std::size_t chunk_len)
+{
+    const std::pair<std::size_t, std::size_t> key{kv_offset, chunk_len};
+    const auto it = chunk_.find(key);
+    if (it != chunk_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    if (chunk_.size() >= maxEntries_) {
+        ++stats_.bypasses;
+        overflow_ =
+            simulatePrefillChunk(sys_, model_, kv_offset, chunk_len);
+        return overflow_;
+    }
+    ++stats_.misses;
+    const StepReport rep =
+        simulatePrefillChunk(sys_, model_, kv_offset, chunk_len);
+    return chunk_.emplace(key, rep).first->second;
+}
+
+} // namespace accel
+} // namespace kelle

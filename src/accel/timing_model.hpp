@@ -190,6 +190,33 @@ StepReport simulateBatchedDecodeStep(
 
 /** @} */
 
+/**
+ * @name Loop-form references (test oracles)
+ *
+ * The shipping paths telescope analytically summable loops: the
+ * decode loop of `simulate` re-evaluates the per-step analytic model
+ * only when the resident-token clamp changes, and
+ * `simulateBatchedDecodeStep` collapses runs of equal resident counts
+ * into `count * term` closed forms. Both are bit-identical to the
+ * original step-at-a-time / member-at-a-time loops, which these
+ * references preserve so the equality is *tested*, not assumed (see
+ * the TimingTelescoping suite).
+ * @{
+ */
+namespace detail {
+
+/** `simulate` with the original per-step decode loop. */
+RunReport simulateLoopReference(const SystemConfig &sys,
+                                const Workload &w);
+
+/** `simulateBatchedDecodeStep` with the original per-member loop. */
+StepReport batchedDecodeStepLoopReference(
+    const SystemConfig &sys, const model::ModelConfig &m,
+    const std::vector<std::size_t> &resident_tokens);
+
+} // namespace detail
+/** @} */
+
 /** Speedup and energy-efficiency of `sys` relative to `base`. */
 struct Comparison
 {

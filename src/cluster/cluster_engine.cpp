@@ -1,6 +1,7 @@
 #include "cluster/cluster_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.hpp"
 #include "common/table.hpp"
@@ -88,24 +89,39 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
             queue_.schedule(queue_.now(),
                             [this, idx] { dispatchArrival(idx); });
         };
+        // With preemption off, the only events that can reach a device
+        // from outside are the trace arrivals, so a device may
+        // fast-forward straight through other devices' step
+        // completions (they touch only their own device and commute
+        // with this one's boundaries). With preemption on, a victim
+        // requeue can land anywhere at any boundary — leave the hook
+        // unset and fall back to the conservative global bound.
+        if (!cfg_.engine.preempt.enabled) {
+            hooks.nextExternalEvent = [this] {
+                return arrivalCursor_ < requests_.size()
+                           ? requests_[arrivalCursor_].arrival
+                           : Time::seconds(
+                                 std::numeric_limits<double>::infinity());
+            };
+        }
         devices_.back()->setHooks(std::move(hooks));
     }
 }
 
-std::vector<DeviceStatus>
-ClusterEngine::statuses() const
+const std::vector<DeviceStatus> &
+ClusterEngine::statuses()
 {
-    std::vector<DeviceStatus> out;
-    out.reserve(devices_.size());
+    statusScratch_.clear();
+    statusScratch_.reserve(devices_.size());
     for (const auto &dev : devices_) {
         DeviceStatus s;
         s.freeKvBytes = dev->freeKvBytes();
         s.kvCapacityBytes = dev->allocator().capacityBytes();
         s.waiting = dev->waitingCount();
         s.active = dev->activeCount();
-        out.push_back(s);
+        statusScratch_.push_back(s);
     }
-    return out;
+    return statusScratch_;
 }
 
 void
@@ -149,9 +165,17 @@ ClusterReport
 ClusterEngine::run()
 {
     requests_ = serving::generateTrace(cfg_.engine.traffic);
+    // All arrivals up front plus one in-flight step per device and
+    // the occasional preemption requeue.
+    queue_.reserve(requests_.size() + devices_.size() + 8);
     for (std::size_t i = 0; i < requests_.size(); ++i) {
-        queue_.schedule(requests_[i].arrival,
-                        [this, i] { dispatchArrival(i); });
+        // The cursor feeds Hooks::nextExternalEvent: arrivals fire in
+        // trace order, so requests_[arrivalCursor_] is always the
+        // earliest arrival still pending.
+        queue_.schedule(requests_[i].arrival, [this, i] {
+            arrivalCursor_ = i + 1;
+            dispatchArrival(i);
+        });
     }
     queue_.runAll();
 

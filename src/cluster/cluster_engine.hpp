@@ -125,13 +125,19 @@ class ClusterEngine
 
   private:
     void dispatchArrival(std::size_t idx);
-    std::vector<DeviceStatus> statuses() const;
+    /** Refresh and return the reusable status-snapshot scratch. */
+    const std::vector<DeviceStatus> &statuses();
 
     ClusterConfig cfg_;
     sim::EventQueue queue_;
     std::vector<serving::Request> requests_;
     std::unique_ptr<DispatchPolicy> dispatch_;
     std::vector<std::unique_ptr<serving::DeviceEngine>> devices_;
+    /** Per-arrival DeviceStatus scratch (dispatch is allocation-free). */
+    std::vector<DeviceStatus> statusScratch_;
+    /** Index of the earliest trace arrival not yet dispatched (feeds
+     *  the devices' fast-forward horizon; see Hooks). */
+    std::size_t arrivalCursor_ = 0;
 };
 
 } // namespace cluster

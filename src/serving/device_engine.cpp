@@ -1,6 +1,7 @@
 #include "serving/device_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "accel/capacity.hpp"
 #include "common/log.hpp"
@@ -45,7 +46,8 @@ DeviceEngine::DeviceEngine(const DeviceConfig &cfg,
       label_(cfg.name.empty() ? "" : " [" + cfg.name + "]"),
       queue_(queue), requests_(requests),
       allocator_(makeAllocatorConfig(cfg)),
-      policy_(makePolicy(cfg.policy))
+      policy_(makePolicy(cfg.policy)),
+      costCache_(cfg_.system, cfg_.model)
 {
     const std::string err = cfg_.model.validate();
     KELLE_ASSERT(err.empty(), "bad model config: ", err);
@@ -90,6 +92,8 @@ DeviceEngine::enqueue(std::size_t idx)
         grants_.resize(requests_.size());
     ++dispatched_;
     waiting_.push_back(idx);
+    if (requests_[idx].preemptions > 0)
+        ++waitingPreempted_;
     metrics_.sampleQueueDepth(waiting_.size());
     if (cfg_.verbose) {
         const Request &r = requests_[idx];
@@ -114,7 +118,9 @@ DeviceEngine::dispatch()
         return;
     preemptDoomed();
     admitWaiting();
-    const EngineStepPlan plan = policy_->nextStep(view());
+    planScratch_.reset();
+    policy_->nextStep(view(), planScratch_);
+    const EngineStepPlan &plan = planScratch_;
     if (plan.kind == EngineStepKind::Idle)
         return;
     if (cfg_.maxEngineSteps && engineSteps_ >= cfg_.maxEngineSteps) {
@@ -140,7 +146,8 @@ DeviceEngine::preemptDoomed()
     // victim's tokens and buy nothing.
     if (waiting_.empty())
         return;
-    std::vector<std::size_t> victims;
+    std::vector<std::size_t> &victims = victimScratch_;
+    victims.clear();
     for (std::size_t idx : running_) {
         const Request &r = requests_[idx];
         if (r.preemptions > 0) // at most once per request
@@ -183,6 +190,7 @@ DeviceEngine::preemptDoomed()
             hooks_.requeue(idx);
         } else {
             waiting_.push_back(idx);
+            ++waitingPreempted_; // r.preemptions was just incremented
             metrics_.sampleQueueDepth(waiting_.size());
         }
     }
@@ -200,6 +208,67 @@ DeviceEngine::rejectRequest(std::size_t idx, std::size_t floor_tokens)
                " tokens exceeds the KV pool");
 }
 
+/**
+ * Attempt admission of `idx`, currently at `waiting_[pos]` — or at a
+ * position to be looked up lazily when `pos` is `kFindPos` (the
+ * reordering policies don't track positions, and searching up front
+ * would cost O(W) per *attempted* candidate; only the rare removal
+ * paths need the position). Returns false when the candidate is
+ * blocked by the allocator; true otherwise (admitted or rejected,
+ * entry removed from waiting_).
+ */
+bool
+DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
+{
+    const auto erase_at = [this](std::size_t p, std::size_t i) {
+        if (p == kFindPos)
+            p = static_cast<std::size_t>(
+                std::find(waiting_.begin(), waiting_.end(), i) -
+                waiting_.begin());
+        waiting_.erase(waiting_.begin() +
+                       static_cast<std::ptrdiff_t>(p));
+    };
+    Request &r = requests_[idx];
+    // requestedBudget() already clamps to >= the floor.
+    const std::size_t requested = requestedBudget(r.task);
+    const std::size_t floor_tokens = minBudget(r.task);
+    if (floor_tokens > allocator_.capacityTokens()) {
+        // Even an empty pool could never hold the floor.
+        rejectRequest(idx, floor_tokens);
+        if (r.preemptions > 0)
+            --waitingPreempted_;
+        erase_at(pos, idx);
+        return true;
+    }
+    const auto grant = allocator_.tryAdmit(requested, floor_tokens);
+    if (!grant.admitted)
+        return false;
+
+    if (r.preemptions > 0)
+        --waitingPreempted_;
+    erase_at(pos, idx);
+    admittedNowScratch_.push_back(idx);
+    r.state = RequestState::Prefilling;
+    // A re-admitted preemption victim keeps its first-life admission
+    // stamp: (admitted - arrival) is the queue-wait metric, and the
+    // victim's first life was service, not queue.
+    if (r.preemptions == 0)
+        r.admitted = queue_.now();
+    r.budgetRequested = requested;
+    r.budgetGranted = grant.budgetTokens;
+    r.kvBytesReserved = grant.bytes;
+    grants_[idx] = grant;
+    admitted_.push_back(idx);
+    metrics_.sampleQueueDepth(waiting_.size());
+    if (cfg_.verbose)
+        inform("t=", toString(queue_.now()), label_, " request #",
+               r.id, " admitted, N'=", r.budgetGranted,
+               r.budgetGranted < requested ? " (shrunk)" : "",
+               ", pool ", Table::pct(allocator_.utilization()),
+               " full");
+    return true;
+}
+
 void
 DeviceEngine::admitWaiting()
 {
@@ -209,60 +278,48 @@ DeviceEngine::admitWaiting()
     const std::size_t cap = policy_->admissionCap(cfg_.maxBatch);
     if (waiting_.empty() || admitted_.size() + running_.size() >= cap)
         return;
-    // Snapshot the policy's admission order; entries leave `waiting_`
-    // only through this loop, so each is attempted at most once.
-    const std::vector<std::size_t> order =
-        policy_->admissionOrder(view());
-    std::vector<std::size_t> admitted_now;
-    for (std::size_t idx : order) {
-        if (admitted_.size() + running_.size() >= cap)
-            break;
-
-        Request &r = requests_[idx];
-        // requestedBudget() already clamps to >= the floor.
-        const std::size_t requested = requestedBudget(r.task);
-        const std::size_t floor_tokens = minBudget(r.task);
-        if (floor_tokens > allocator_.capacityTokens()) {
-            // Even an empty pool could never hold the floor.
-            rejectRequest(idx, floor_tokens);
-            waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
-                                     idx));
-            continue;
+    std::vector<std::size_t> &admitted_now = admittedNowScratch_;
+    admitted_now.clear();
+    if (policy_->fifoAdmission()) {
+        // Arrival-order admission straight off the waiting queue: no
+        // order snapshot, and every removal pops the current position
+        // (the front, unless a blocked candidate was skipped).
+        std::size_t pos = 0;
+        while (pos < waiting_.size() &&
+               admitted_.size() + running_.size() < cap) {
+            const std::size_t idx = waiting_[pos];
+            if (!tryAdmitAt(pos, idx)) {
+                if (!policy_->skipBlocked())
+                    break; // head-of-line wait for a release
+                ++pos;     // later candidates may still fit
+            }
         }
-        auto grant = allocator_.tryAdmit(requested, floor_tokens);
-        if (!grant.admitted) {
-            if (policy_->skipBlocked())
-                continue; // later candidates may still fit
-            break;        // head-of-line wait for a release
+    } else {
+        // Snapshot the policy's admission order; entries leave
+        // `waiting_` only through this loop, so each is attempted at
+        // most once.
+        policy_->admissionOrder(view(), orderScratch_);
+        for (std::size_t idx : orderScratch_) {
+            if (admitted_.size() + running_.size() >= cap)
+                break;
+            if (!tryAdmitAt(kFindPos, idx)) {
+                if (!policy_->skipBlocked())
+                    break; // head-of-line wait for a release
+            }
         }
-
-        waiting_.erase(std::find(waiting_.begin(), waiting_.end(),
-                                 idx));
-        admitted_now.push_back(idx);
-        r.state = RequestState::Prefilling;
-        // A re-admitted preemption victim keeps its first-life
-        // admission stamp: (admitted - arrival) is the queue-wait
-        // metric, and the victim's first life was service, not queue.
-        if (r.preemptions == 0)
-            r.admitted = queue_.now();
-        r.budgetRequested = requested;
-        r.budgetGranted = grant.budgetTokens;
-        r.kvBytesReserved = grant.bytes;
-        grants_[idx] = grant;
-        admitted_.push_back(idx);
-        metrics_.sampleQueueDepth(waiting_.size());
-        if (cfg_.verbose)
-            inform("t=", toString(queue_.now()), label_, " request #",
-                   r.id, " admitted, N'=", r.budgetGranted,
-                   r.budgetGranted < requested ? " (shrunk)" : "",
-                   ", pool ",
-                   Table::pct(allocator_.utilization()), " full");
     }
 
     // Starvation accounting, settled after the round: an admission
     // overtook only the earlier arrivals it left *still waiting* —
     // requests admitted later in the same round at the same timestamp
-    // lost nothing and are not counted.
+    // lost nothing and are not counted. For arrival-order admission
+    // the count is provably zero unless a requeued preemption victim
+    // (an old id enqueued late) sits in the queue, so the O(W) scan
+    // runs only when it can produce something.
+    if (admitted_now.empty() ||
+        (policy_->fifoAdmission() && !policy_->skipBlocked() &&
+         waitingPreempted_ == 0))
+        return;
     for (std::size_t idx : admitted_now) {
         std::size_t overtaken = 0;
         for (std::size_t w : waiting_)
@@ -270,6 +327,27 @@ DeviceEngine::admitWaiting()
         if (overtaken > 0)
             metrics_.onBypass(overtaken);
     }
+}
+
+const accel::StepReport &
+DeviceEngine::decodeStepCost(const std::vector<std::size_t> &resident)
+{
+    if (cfg_.fastSim)
+        return costCache_.batchedDecodeStep(resident);
+    stepScratch_ = accel::simulateBatchedDecodeStep(cfg_.system,
+                                                    cfg_.model, resident);
+    return stepScratch_;
+}
+
+const accel::StepReport &
+DeviceEngine::prefillChunkCost(std::size_t kv_offset,
+                               std::size_t chunk_len)
+{
+    if (cfg_.fastSim)
+        return costCache_.prefillChunk(kv_offset, chunk_len);
+    stepScratch_ = accel::simulatePrefillChunk(cfg_.system, cfg_.model,
+                                               kv_offset, chunk_len);
+    return stepScratch_;
 }
 
 void
@@ -282,49 +360,100 @@ DeviceEngine::runPrefillChunk(const EngineStepPlan &plan)
     KELLE_ASSERT(plan.chunkTokens > 0 &&
                      plan.chunkTokens <= r.remainingPrompt(),
                  "policy planned an invalid prefill chunk");
-    const auto step = accel::simulatePrefillChunk(
-        cfg_.system, cfg_.model, r.prefilled, plan.chunkTokens);
+    const accel::StepReport &step =
+        prefillChunkCost(r.prefilled, plan.chunkTokens);
     metrics_.addEnergy(step.energy);
     busy_ = busy_ + step.latency;
-    queue_.scheduleAfter(
-        step.latency, [this, idx, tokens = plan.chunkTokens] {
-            Request &req = requests_[idx];
-            req.prefilled += tokens;
-            if (req.prefillDone()) {
-                admitted_.erase(std::find(admitted_.begin(),
-                                          admitted_.end(), idx));
-                req.state = RequestState::Decoding;
-                if (req.preemptions == 0) {
-                    req.firstToken = queue_.now();
-                    req.lastToken = req.firstToken;
-                } else {
-                    // Restarted victim: the user saw the first token
-                    // in its first life; the restart shows up as one
-                    // long inter-token stall.
-                    req.maxTokenGapSec = std::max(
-                        req.maxTokenGapSec,
-                        (queue_.now() - req.lastToken).sec());
-                    req.lastToken = queue_.now();
-                }
-                running_.push_back(idx);
-                ++prefills_;
-                if (cfg_.verbose && req.preemptions == 0)
-                    inform("t=", toString(queue_.now()), label_,
-                           " request #", req.id, " first token (TTFT ",
-                           toString(req.firstToken - req.arrival),
-                           ", ", metrics_.metTtft(req) ? "met"
-                                                       : "missed",
-                           " deadline), batch ", running_.size());
-                else if (cfg_.verbose)
-                    inform("t=", toString(queue_.now()), label_,
-                           " request #", req.id,
-                           " resumed decoding after preemption, "
-                           "batch ",
-                           running_.size());
-            }
-            engineBusy_ = false;
-            dispatch();
-        });
+    // In-flight state in members, `this`-only capture: the callback
+    // stays inside std::function's small-object buffer (no per-step
+    // heap allocation).
+    inFlightPrefillIdx_ = idx;
+    inFlightPrefillTokens_ = plan.chunkTokens;
+    queue_.scheduleAfter(step.latency, [this] { onPrefillDone(); });
+}
+
+void
+DeviceEngine::onPrefillDone()
+{
+    const std::size_t idx = inFlightPrefillIdx_;
+    Request &req = requests_[idx];
+    req.prefilled += inFlightPrefillTokens_;
+    if (req.prefillDone()) {
+        admitted_.erase(
+            std::find(admitted_.begin(), admitted_.end(), idx));
+        req.state = RequestState::Decoding;
+        if (req.preemptions == 0) {
+            req.firstToken = queue_.now();
+            req.lastToken = req.firstToken;
+        } else {
+            // Restarted victim: the user saw the first token in its
+            // first life; the restart shows up as one long
+            // inter-token stall.
+            req.maxTokenGapSec =
+                std::max(req.maxTokenGapSec,
+                         (queue_.now() - req.lastToken).sec());
+            req.lastToken = queue_.now();
+        }
+        running_.push_back(idx);
+        ++prefills_;
+        if (cfg_.verbose && req.preemptions == 0)
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   req.id, " first token (TTFT ",
+                   toString(req.firstToken - req.arrival), ", ",
+                   metrics_.metTtft(req) ? "met" : "missed",
+                   " deadline), batch ", running_.size());
+        else if (cfg_.verbose)
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   req.id,
+                   " resumed decoding after preemption, batch ",
+                   running_.size());
+    }
+    engineBusy_ = false;
+    dispatch();
+}
+
+std::size_t
+DeviceEngine::silentStepBudget(bool *defer_head) const
+{
+    *defer_head = false;
+    if (!cfg_.fastSim || !admitted_.empty())
+        return 0;
+    if (!waiting_.empty()) {
+        // A non-empty queue feeds the preemption scan, and admits at
+        // the next boundary unless the batch is capped or the pool is
+        // exhausted. The capped case is a provable no-op. The
+        // KV-blocked case — batch slots free but the head's floor not
+        // fitting the free bytes — is replayable for arrival-order,
+        // non-skipping policies: the round attempts exactly the head
+        // and defers it, which the fast-forward re-performs per
+        // boundary so the deferral accounting stays identical.
+        // Reordering (or skip-blocked) policies attempt every
+        // candidate per round; leave those boundaries real.
+        if (cfg_.preempt.enabled)
+            return 0;
+        if (admitted_.size() + running_.size() <
+            policy_->admissionCap(cfg_.maxBatch)) {
+            if (!policy_->fifoAdmission() || policy_->skipBlocked())
+                return 0;
+            *defer_head = true;
+        }
+    }
+    std::size_t min_rem = 0;
+    bool first = true;
+    for (std::size_t idx : inFlightBatch_) {
+        const Request &r = requests_[idx];
+        const std::size_t rem = r.task.decLen - r.generated;
+        min_rem = first ? rem : std::min(min_rem, rem);
+        first = false;
+    }
+    if (min_rem <= 1) // the very next boundary completes a member
+        return 0;
+    std::size_t budget = min_rem - 1;
+    if (cfg_.maxEngineSteps) {
+        const std::uint64_t room = cfg_.maxEngineSteps - engineSteps_;
+        budget = std::min(budget, static_cast<std::size_t>(room));
+    }
+    return budget;
 }
 
 void
@@ -332,31 +461,127 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
 {
     engineBusy_ = true;
     ++decodeSteps_;
-    std::vector<std::size_t> resident;
-    resident.reserve(plan.decodeBatch.size());
+    residentScratch_.clear();
     for (std::size_t idx : plan.decodeBatch)
-        resident.push_back(requests_[idx].residentTokens());
-    const auto step =
-        accel::simulateBatchedDecodeStep(cfg_.system, cfg_.model, resident);
-    metrics_.addEnergy(step.energy);
-    busy_ = busy_ + step.latency;
-    queue_.scheduleAfter(step.latency, [this,
-                                        batch = plan.decodeBatch] {
-        for (std::size_t idx : batch) {
-            Request &r = requests_[idx];
-            ++r.generated;
-            r.maxTokenGapSec = std::max(
-                r.maxTokenGapSec, (queue_.now() - r.lastToken).sec());
-            r.lastToken = queue_.now();
-            if (r.done()) {
-                finishRequest(idx);
-                running_.erase(std::find(running_.begin(),
-                                         running_.end(), idx));
-            }
+        residentScratch_.push_back(requests_[idx].residentTokens());
+    const accel::StepReport *step = &decodeStepCost(residentScratch_);
+    metrics_.addEnergy(step->energy);
+    busy_ = busy_ + step->latency;
+    inFlightBatch_.assign(plan.decodeBatch.begin(),
+                          plan.decodeBatch.end());
+
+    // Fast-forward: while (a) no batch member completes, (b) admission
+    // and preemption are provably no-ops, and (c) the boundary lands
+    // strictly before the earliest pending event that could affect
+    // this engine, the decode batch steps again with the same
+    // membership — nothing else in the simulation can even observe
+    // the boundary. Replay those boundaries inline instead of
+    // re-entering the event queue, performing exactly the operations
+    // the event-driven loop would, in the same order: member token
+    // updates at the boundary, then the next step's resident total,
+    // cost lookup, and energy/busy/counter accumulations, with the
+    // same repeated-addition timestamps. The (batch, total-resident)
+    // cost key is tracked incrementally — it grows by the number of
+    // members still below their budget clamp, and stops changing (no
+    // lookup at all) once every member is clamped. Only the final,
+    // state-changing boundary re-enters the queue.
+    Time t = queue_.now();
+    bool defer_head = false;
+    std::size_t silent = silentStepBudget(&defer_head);
+    if (silent > 0) {
+        // KV-blocked head-of-line admission: replicate the per-round
+        // head attempt (it must keep failing — the allocator state is
+        // frozen inside the window — and each failure records the
+        // same deferral the event-driven round would).
+        std::size_t head_requested = 0;
+        std::size_t head_floor = 0;
+        if (defer_head) {
+            const Request &head = requests_[waiting_.front()];
+            head_requested = requestedBudget(head.task);
+            head_floor = minBudget(head.task);
         }
-        engineBusy_ = false;
-        dispatch();
-    });
+        bool bounded;
+        Time horizon;
+        if (hooks_.nextExternalEvent) {
+            // The owner vouches that nothing before this timestamp
+            // can reach this engine (other devices' completions
+            // commute with our boundaries; see Hooks).
+            horizon = hooks_.nextExternalEvent();
+            bounded = horizon.sec() <
+                      std::numeric_limits<double>::infinity();
+        } else {
+            bounded = !queue_.empty();
+            if (bounded)
+                horizon = queue_.nextEventTime();
+        }
+        std::size_t n_sum = 0;
+        for (std::size_t n : residentScratch_)
+            n_sum += n;
+        const std::size_t batch_size = inFlightBatch_.size();
+        while (silent > 0) {
+            const Time tn = t + step->latency;
+            if (bounded && !(tn < horizon))
+                break;
+            t = tn;
+            std::size_t growth = 0;
+            for (std::size_t idx : inFlightBatch_) {
+                Request &r = requests_[idx];
+                ++r.generated;
+                r.maxTokenGapSec = std::max(r.maxTokenGapSec,
+                                            (t - r.lastToken).sec());
+                r.lastToken = t;
+                if (r.task.ctxLen + r.generated < r.budgetGranted)
+                    ++growth; // resident grows again next step
+            }
+            if (defer_head) {
+                const auto grant =
+                    allocator_.tryAdmit(head_requested, head_floor);
+                KELLE_ASSERT(!grant.admitted,
+                             "fast-forward window admitted a request "
+                             "the event-driven round had deferred");
+            }
+            ++engineSteps_;
+            ++decodeSteps_;
+            ++fastForwarded_;
+            if (growth > 0) {
+                n_sum += growth;
+                const accel::StepReport *hit =
+                    costCache_.findBatchedDecode(batch_size, n_sum);
+                if (hit != nullptr) {
+                    step = hit;
+                } else {
+                    residentScratch_.clear();
+                    for (std::size_t idx : inFlightBatch_)
+                        residentScratch_.push_back(
+                            requests_[idx].residentTokens());
+                    step = &decodeStepCost(residentScratch_);
+                }
+            }
+            metrics_.addEnergy(step->energy);
+            busy_ = busy_ + step->latency;
+            --silent;
+        }
+    }
+    queue_.schedule(t + step->latency, [this] { onDecodeDone(); });
+}
+
+void
+DeviceEngine::onDecodeDone()
+{
+    for (std::size_t idx : inFlightBatch_) {
+        Request &r = requests_[idx];
+        ++r.generated;
+        r.maxTokenGapSec = std::max(
+            r.maxTokenGapSec, (queue_.now() - r.lastToken).sec());
+        r.lastToken = queue_.now();
+        if (r.done()) {
+            finishRequest(idx);
+            running_.erase(
+                std::find(running_.begin(), running_.end(), idx));
+        }
+    }
+    engineBusy_ = false;
+    dispatch();
 }
 
 void

@@ -29,6 +29,20 @@
  * its original arrival and first-token timestamps, so the restart is
  * charged as a decode stall and the TPOT miss stays on the books; each
  * request is preempted at most once, so traces always drain.
+ *
+ * Fast path (`DeviceConfig::fastSim`, on by default, bit-identical —
+ * see docs/ARCHITECTURE.md "Simulation-core performance"): step costs
+ * come from a per-device `accel::StepCostCache`; per-step vectors are
+ * engine-owned scratch reused across steps; completion callbacks
+ * capture only `this` (in-flight step state lives in members) so the
+ * `std::function` stays in its small-object buffer; and runs of
+ * decode boundaries nothing can observe — no member completing, no
+ * admission or preemption possible, no pending event before the
+ * boundary — are fast-forwarded inline without re-entering the event
+ * queue, replaying exactly the per-boundary updates and cost lookups
+ * the step-at-a-time loop would perform. `fastSim = false` keeps the
+ * straight-line path; the FastPathEquivalence tests drive both to the
+ * same traces and require field-for-field identical reports.
  */
 
 #ifndef KELLE_SERVING_DEVICE_ENGINE_HPP
@@ -41,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/step_cost_cache.hpp"
 #include "accel/timing_model.hpp"
 #include "model/model_config.hpp"
 #include "serving/engine_step.hpp"
@@ -85,6 +100,13 @@ struct DeviceConfig
     PreemptConfig preempt;
     /** Safety cap on this device's engine steps; 0 = unlimited. */
     std::uint64_t maxEngineSteps = 0;
+    /**
+     * Bit-identical simulation fast path: memoized step costing plus
+     * fast-forwarding of provably identical decode steps. Off reverts
+     * to uncached step-at-a-time execution (the equivalence oracle
+     * and the bench_simspeed `--ref` baseline).
+     */
+    bool fastSim = true;
     bool verbose = false;
 };
 
@@ -96,6 +118,20 @@ class DeviceEngine
     {
         /** Re-dispatch a preempted victim; local requeue when null. */
         std::function<void(std::size_t idx)> requeue;
+        /**
+         * Timestamp of the earliest pending event that could *affect
+         * this engine* (+inf when none remains) — in practice the
+         * next trace arrival. When set, the decode fast-forward
+         * window is bounded by this instead of by the global event
+         * queue, letting a device replay straight through other
+         * devices' step completions: with preemption off those touch
+         * only their own device, so they commute with this engine's
+         * boundaries. Owners must NOT install it when a pending event
+         * can enqueue into this engine asynchronously (preemption
+         * requeues); leaving it unset falls back to the conservative
+         * global bound.
+         */
+        std::function<Time()> nextExternalEvent;
     };
 
     /**
@@ -147,6 +183,15 @@ class DeviceEngine
     Time lastCompletion() const { return lastCompletion_; }
     /** Wall-clock the accelerator spent executing engine steps. */
     Time busyTime() const { return busy_; }
+    /** Step-cost memoization accounting (zero when fastSim is off). */
+    const accel::StepCostCache::Stats &
+    costCacheStats() const
+    {
+        return costCache_.stats();
+    }
+    /** Decode boundaries replayed without re-entering the event
+     *  queue; a subset of decodeSteps(). */
+    std::uint64_t fastForwardedSteps() const { return fastForwarded_; }
     bool truncated() const { return truncated_; }
     /** Trace fully served: not truncated and all queues empty. */
     bool drained() const
@@ -160,8 +205,25 @@ class DeviceEngine
     void dispatch();
     void preemptDoomed();
     void admitWaiting();
+    /** `pos` sentinel: look the entry up only if it must be erased. */
+    static constexpr std::size_t kFindPos =
+        static_cast<std::size_t>(-1);
+    bool tryAdmitAt(std::size_t pos, std::size_t idx);
     void runPrefillChunk(const EngineStepPlan &plan);
     void runDecodeStep(const EngineStepPlan &plan);
+    void onPrefillDone();
+    void onDecodeDone();
+    /** Upper bound on decode boundaries that may be replayed inline
+     *  after the in-flight step (0 = fast-forward ineligible). Sets
+     *  `*defer_head` when each replayed boundary must re-attempt (and
+     *  re-defer) the KV-blocked waiting head to keep the allocator's
+     *  deferral accounting identical. */
+    std::size_t silentStepBudget(bool *defer_head) const;
+    /** Step costs through the cache when fastSim is on. */
+    const accel::StepReport &
+    decodeStepCost(const std::vector<std::size_t> &resident);
+    const accel::StepReport &prefillChunkCost(std::size_t kv_offset,
+                                              std::size_t chunk_len);
     void finishRequest(std::size_t idx);
     void rejectRequest(std::size_t idx, std::size_t floor_tokens);
     EngineView view() const;
@@ -175,12 +237,37 @@ class DeviceEngine
     KvBudgetAllocator allocator_;
     ServingMetrics metrics_;
     std::unique_ptr<Policy> policy_;
+    /** Bound to cfg_.system/cfg_.model (declared above it). */
+    accel::StepCostCache costCache_;
     Hooks hooks_;
 
     std::vector<KvBudgetAllocator::Grant> grants_;
     std::deque<std::size_t> waiting_;  ///< arrived, not admitted
     std::deque<std::size_t> admitted_; ///< granted, prompt unfinished
     std::vector<std::size_t> running_; ///< decode-batch members
+    /** Requeued preemption victims currently in waiting_ (the only
+     *  way an arrival-order admission can overtake a smaller id). */
+    std::size_t waitingPreempted_ = 0;
+
+    /**
+     * @name Per-step scratch and in-flight state
+     * Reused across step boundaries so steady-state stepping allocates
+     * nothing (asserted by the AllocationFree test). The in-flight
+     * members describe the step whose completion event is pending;
+     * they are stable while `engineBusy_` because dispatch() is the
+     * only writer and it early-outs on a busy engine.
+     * @{
+     */
+    EngineStepPlan planScratch_;
+    std::vector<std::size_t> orderScratch_;
+    std::vector<std::size_t> admittedNowScratch_;
+    std::vector<std::size_t> victimScratch_;
+    std::vector<std::size_t> residentScratch_;
+    std::vector<std::size_t> inFlightBatch_; ///< decode members
+    std::size_t inFlightPrefillIdx_ = 0;
+    std::size_t inFlightPrefillTokens_ = 0;
+    accel::StepReport stepScratch_; ///< fastSim-off cost slot
+    /** @} */
 
     bool engineBusy_ = false;
     bool truncated_ = false;
@@ -190,6 +277,7 @@ class DeviceEngine
     std::uint64_t decodeSteps_ = 0;
     std::uint64_t prefillChunks_ = 0;
     std::uint64_t prefills_ = 0;
+    std::uint64_t fastForwarded_ = 0;
     Time lastCompletion_;
     Time busy_;
 };

@@ -35,6 +35,11 @@ std::string toString(EngineStepKind k);
 /**
  * One engine step, as chosen by a Policy at a step boundary. The
  * request indices refer to the engine's request table (trace order).
+ *
+ * Plans are filled in place into a caller-owned scratch object
+ * (`Policy::nextStep`) so the per-step `decodeBatch` reuses its
+ * capacity instead of reallocating at every step boundary; `reset()`
+ * returns the plan to Idle without releasing that storage.
  */
 struct EngineStepPlan
 {
@@ -45,6 +50,16 @@ struct EngineStepPlan
     std::size_t chunkTokens = 0;
     /** DecodeStep: the batch members to step together. */
     std::vector<std::size_t> decodeBatch;
+
+    /** Back to Idle, keeping decodeBatch capacity. */
+    void
+    reset()
+    {
+        kind = EngineStepKind::Idle;
+        requestIdx = 0;
+        chunkTokens = 0;
+        decodeBatch.clear();
+    }
 };
 
 } // namespace serving

@@ -29,22 +29,21 @@ deadlineSec(const Request &r)
 
 /** Prefill-priority step: the given admitted request's next chunk if
  *  any, else one decode iteration over the whole batch. */
-EngineStepPlan
-prefillPriorityStep(const EngineView &v, std::size_t admitted_pick)
+void
+prefillPriorityStep(const EngineView &v, std::size_t admitted_pick,
+                    EngineStepPlan &plan)
 {
-    EngineStepPlan plan;
     if (!v.admitted.empty()) {
         const Request &r = v.requests[admitted_pick];
         plan.kind = EngineStepKind::PrefillChunk;
         plan.requestIdx = admitted_pick;
         plan.chunkTokens = Policy::nextChunkLen(v, r);
-        return plan;
+        return;
     }
     if (!v.running.empty()) {
         plan.kind = EngineStepKind::DecodeStep;
-        plan.decodeBatch = v.running;
+        plan.decodeBatch.assign(v.running.begin(), v.running.end());
     }
-    return plan;
 }
 
 class FcfsPolicy final : public Policy
@@ -56,11 +55,11 @@ class FcfsPolicy final : public Policy
     {
         return 1; // run-to-completion: one request owns the machine
     }
-    EngineStepPlan
-    nextStep(const EngineView &v) const override
+    void
+    nextStep(const EngineView &v, EngineStepPlan &plan) const override
     {
-        return prefillPriorityStep(
-            v, v.admitted.empty() ? 0 : v.admitted.front());
+        prefillPriorityStep(
+            v, v.admitted.empty() ? 0 : v.admitted.front(), plan);
     }
 };
 
@@ -72,11 +71,11 @@ class ContinuousBatchingPolicy final : public Policy
     {
         return SchedulePolicy::ContinuousBatching;
     }
-    EngineStepPlan
-    nextStep(const EngineView &v) const override
+    void
+    nextStep(const EngineView &v, EngineStepPlan &plan) const override
     {
-        return prefillPriorityStep(
-            v, v.admitted.empty() ? 0 : v.admitted.front());
+        prefillPriorityStep(
+            v, v.admitted.empty() ? 0 : v.admitted.front(), plan);
     }
 };
 
@@ -89,12 +88,13 @@ class SjfWithinDeadlinePolicy final : public Policy
         return SchedulePolicy::SjfWithinDeadline;
     }
     bool skipBlocked() const override { return true; }
+    bool fifoAdmission() const override { return false; }
 
-    std::vector<std::size_t>
-    admissionOrder(const EngineView &v) const override
+    void
+    admissionOrder(const EngineView &v,
+                   std::vector<std::size_t> &order) const override
     {
-        std::vector<std::size_t> order(v.waiting.begin(),
-                                       v.waiting.end());
+        order.assign(v.waiting.begin(), v.waiting.end());
         const double now = v.now.sec();
         auto urgent = [&](const Request &r) {
             if (r.ttftDeadlineSec <= 0.0)
@@ -122,16 +122,15 @@ class SjfWithinDeadlinePolicy final : public Policy
                           return jobSize(ra) < jobSize(rb);
                       return ra.id < rb.id;
                   });
-        return order;
     }
 
-    EngineStepPlan
-    nextStep(const EngineView &v) const override
+    void
+    nextStep(const EngineView &v, EngineStepPlan &plan) const override
     {
         // Admission order already encodes the priority; steps stay
         // prefill-priority FIFO over the admitted set.
-        return prefillPriorityStep(
-            v, v.admitted.empty() ? 0 : v.admitted.front());
+        prefillPriorityStep(
+            v, v.admitted.empty() ? 0 : v.admitted.front(), plan);
     }
 };
 
@@ -144,12 +143,13 @@ class EdfChunkedPolicy final : public Policy
         return SchedulePolicy::EdfChunked;
     }
     bool skipBlocked() const override { return true; }
+    bool fifoAdmission() const override { return false; }
 
-    std::vector<std::size_t>
-    admissionOrder(const EngineView &v) const override
+    void
+    admissionOrder(const EngineView &v,
+                   std::vector<std::size_t> &order) const override
     {
-        std::vector<std::size_t> order(v.waiting.begin(),
-                                       v.waiting.end());
+        order.assign(v.waiting.begin(), v.waiting.end());
         std::sort(order.begin(), order.end(),
                   [&](std::size_t a, std::size_t b) {
                       const double da = deadlineSec(v.requests[a]);
@@ -158,16 +158,14 @@ class EdfChunkedPolicy final : public Policy
                           return da < db;
                       return v.requests[a].id < v.requests[b].id;
                   });
-        return order;
     }
 
-    EngineStepPlan
-    nextStep(const EngineView &v) const override
+    void
+    nextStep(const EngineView &v, EngineStepPlan &plan) const override
     {
         // Sarathi-style alternation: after a prefill chunk, give the
         // decode batch one iteration before the next chunk, so chunked
         // long prompts neither stall decode nor get starved by it.
-        EngineStepPlan plan;
         // Chunk the admitted request with the earliest deadline:
         // chunk-level preemption of long prefills by urgent work.
         std::size_t pick = 0;
@@ -198,16 +196,17 @@ class EdfChunkedPolicy final : public Policy
         if (!v.running.empty() && !v.admitted.empty() &&
             v.lastStep == EngineStepKind::PrefillChunk && !pressed) {
             plan.kind = EngineStepKind::DecodeStep;
-            plan.decodeBatch = v.running;
-            return plan;
+            plan.decodeBatch.assign(v.running.begin(), v.running.end());
+            return;
         }
-        if (!v.admitted.empty())
-            return prefillPriorityStep(v, pick);
+        if (!v.admitted.empty()) {
+            prefillPriorityStep(v, pick, plan);
+            return;
+        }
         if (!v.running.empty()) {
             plan.kind = EngineStepKind::DecodeStep;
-            plan.decodeBatch = v.running;
+            plan.decodeBatch.assign(v.running.begin(), v.running.end());
         }
-        return plan;
     }
 };
 
@@ -286,10 +285,11 @@ allSchedulePolicies()
             SchedulePolicy::EdfChunked};
 }
 
-std::vector<std::size_t>
-Policy::admissionOrder(const EngineView &v) const
+void
+Policy::admissionOrder(const EngineView &v,
+                       std::vector<std::size_t> &order) const
 {
-    return std::vector<std::size_t>(v.waiting.begin(), v.waiting.end());
+    order.assign(v.waiting.begin(), v.waiting.end());
 }
 
 std::size_t

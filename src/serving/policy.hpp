@@ -117,14 +117,29 @@ class Policy
     virtual bool skipBlocked() const { return false; }
 
     /**
-     * Waiting requests in the order admission should be attempted.
-     * The default is arrival (FIFO) order.
+     * True when admissionOrder is the identity (arrival order), which
+     * lets the engine admit straight off the waiting queue's head —
+     * no order materialization, O(1) removals. Policies overriding
+     * admissionOrder must return false.
      */
-    virtual std::vector<std::size_t>
-    admissionOrder(const EngineView &v) const;
+    virtual bool fifoAdmission() const { return true; }
 
-    /** The next engine step; Idle when nothing is runnable. */
-    virtual EngineStepPlan nextStep(const EngineView &v) const = 0;
+    /**
+     * Fill `order` with the waiting requests in the order admission
+     * should be attempted (default: arrival/FIFO order). `order` is
+     * caller-owned scratch reused across admission rounds;
+     * implementations overwrite it completely.
+     */
+    virtual void admissionOrder(const EngineView &v,
+                                std::vector<std::size_t> &order) const;
+
+    /**
+     * Fill `plan` with the next engine step (Idle when nothing is
+     * runnable). `plan` arrives reset(); it is caller-owned scratch,
+     * so `decodeBatch` assignment reuses capacity step over step.
+     */
+    virtual void nextStep(const EngineView &v,
+                          EngineStepPlan &plan) const = 0;
 
     /** The request's next prefill chunk length under `v.chunkTokens`. */
     static std::size_t nextChunkLen(const EngineView &v,

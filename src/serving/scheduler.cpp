@@ -40,6 +40,7 @@ deviceConfigFrom(const ServingConfig &cfg)
     d.poolTokens = cfg.poolTokens;
     d.highWatermark = cfg.highWatermark;
     d.maxEngineSteps = cfg.maxEngineSteps;
+    d.fastSim = cfg.fastSim;
     d.verbose = cfg.verbose;
     return d;
 }
@@ -89,6 +90,9 @@ ServingReport
 Scheduler::run()
 {
     requests_ = generateTrace(cfg_.traffic);
+    // All arrivals sit in the queue up front; one in-flight step and
+    // the occasional requeue ride on top.
+    queue_.reserve(requests_.size() + 8);
     for (std::size_t i = 0; i < requests_.size(); ++i) {
         queue_.schedule(requests_[i].arrival,
                         [this, i] { device_->enqueue(i); });

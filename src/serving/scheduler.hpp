@@ -79,6 +79,13 @@ struct ServingConfig
     /** Safety cap on engine steps (prefill chunks + decode
      *  iterations); 0 = run the trace to completion. */
     std::uint64_t maxEngineSteps = 0;
+    /**
+     * Bit-identical simulation fast path (step-cost memoization +
+     * decode fast-forward; see device_engine.hpp). Off runs the
+     * uncached step-at-a-time core — the equivalence-test oracle and
+     * the bench_simspeed reference.
+     */
+    bool fastSim = true;
     /** inform() per-request lifecycle lines (examples/edge_server). */
     bool verbose = false;
 };

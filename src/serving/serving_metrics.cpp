@@ -84,15 +84,22 @@ ServingMetrics::metTpot(const Request &r)
 double
 ServingMetrics::percentile(std::vector<double> samples, double p)
 {
-    if (samples.empty())
-        return 0.0;
     std::sort(samples.begin(), samples.end());
-    const double n = static_cast<double>(samples.size());
+    return percentileSorted(samples, p);
+}
+
+double
+ServingMetrics::percentileSorted(const std::vector<double> &sorted,
+                                 double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double n = static_cast<double>(sorted.size());
     const double rank = std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 * n);
     const std::size_t idx = rank < 1.0
                                 ? 0
                                 : static_cast<std::size_t>(rank) - 1;
-    return samples[std::min(idx, samples.size() - 1)];
+    return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 ServingSummary
@@ -171,20 +178,25 @@ ServingMetrics::summarize(Time makespan) const
                       static_cast<double>(r.budgetRequested)
                 : 1.0;
     }
+    // One sort per sample vector; every rank indexes the sorted copy.
+    std::sort(ttft.begin(), ttft.end());
+    std::sort(e2e.begin(), e2e.end());
+    std::sort(tpot.begin(), tpot.end());
+    std::sort(gap.begin(), gap.end());
     const double n = static_cast<double>(completed_.size());
     s.ttftMean = ttft_sum / n;
-    s.ttftP50 = percentile(ttft, 50.0);
-    s.ttftP95 = percentile(ttft, 95.0);
-    s.ttftP99 = percentile(ttft, 99.0);
-    s.e2eP50 = percentile(e2e, 50.0);
-    s.e2eP95 = percentile(e2e, 95.0);
-    s.e2eP99 = percentile(e2e, 99.0);
+    s.ttftP50 = percentileSorted(ttft, 50.0);
+    s.ttftP95 = percentileSorted(ttft, 95.0);
+    s.ttftP99 = percentileSorted(ttft, 99.0);
+    s.e2eP50 = percentileSorted(e2e, 50.0);
+    s.e2eP95 = percentileSorted(e2e, 95.0);
+    s.e2eP99 = percentileSorted(e2e, 99.0);
     s.tpotMean = tpot.empty()
                      ? 0.0
                      : tpot_sum / static_cast<double>(tpot.size());
-    s.tpotP50 = percentile(tpot, 50.0);
-    s.tpotP95 = percentile(tpot, 95.0);
-    s.tokenGapP95 = percentile(gap, 95.0);
+    s.tpotP50 = percentileSorted(tpot, 50.0);
+    s.tpotP95 = percentileSorted(tpot, 95.0);
+    s.tokenGapP95 = percentileSorted(gap, 95.0);
     s.meanBudgetFraction = budget_frac_sum / n;
     if (makespan.sec() > 0.0)
         s.goodputTokensPerSec = tokens / makespan.sec();

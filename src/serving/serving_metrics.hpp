@@ -148,8 +148,17 @@ class ServingMetrics
     /** TPOT-target check for a completed request (0 = disabled). */
     static bool metTpot(const Request &r);
 
-    /** Nearest-rank percentile, p in [0, 100]. Copies and sorts. */
+    /** Nearest-rank percentile, p in [0, 100]. Copies and sorts; use
+     *  percentileSorted when reading several ranks from one vector. */
     static double percentile(std::vector<double> samples, double p);
+    /**
+     * Nearest-rank percentile of an already ascending-sorted vector.
+     * `summarize` sorts each sample vector once and indexes all its
+     * ranks from the sorted copy (identical results to sorting per
+     * rank, one sort instead of six-plus).
+     */
+    static double percentileSorted(const std::vector<double> &sorted,
+                                   double p);
 
     ServingSummary summarize(Time makespan) const;
 

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace kelle {
@@ -10,7 +12,8 @@ EventQueue::schedule(Time when, Callback cb, int priority)
 {
     KELLE_ASSERT(when >= now_, "scheduling into the past: ", when.sec(),
                  " < ", now_.sec());
-    queue_.push(Event{when, priority, seq_++, std::move(cb)});
+    heap_.push_back(Event{when, priority, seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
@@ -22,10 +25,11 @@ EventQueue::scheduleAfter(Time delta, Callback cb, int priority)
 bool
 EventQueue::runNext()
 {
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
-    Event ev = queue_.top();
-    queue_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     now_ = ev.when;
     ++executed_;
     ev.cb();
@@ -45,7 +49,7 @@ std::uint64_t
 EventQueue::runUntil(Time t)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty() && queue_.top().when <= t) {
+    while (!heap_.empty() && heap_.front().when <= t) {
         runNext();
         ++n;
     }

@@ -1,9 +1,18 @@
 /**
  * @file
  * A small discrete-event simulation core used by the bank-level eDRAM
- * tests and the refresh-hiding studies. Events execute in (time,
- * priority, insertion-order) order; callbacks may schedule further
- * events.
+ * tests, the refresh-hiding studies and the serving/cluster engines.
+ * Events execute in (time, priority, insertion-order) order; callbacks
+ * may schedule further events.
+ *
+ * The queue is an explicit binary heap over a `std::vector` rather
+ * than a `std::priority_queue`: the comparator defines a strict total
+ * order (the insertion sequence number breaks every tie), so the pop
+ * order — the only observable — is identical, while the explicit heap
+ * lets the hot serving loop *move* events in and out (a
+ * `priority_queue` top()/pop() cycle copies the `std::function`, a
+ * heap allocation per event) and lets owners `reserve` the backing
+ * storage for an allocation-free steady state.
  */
 
 #ifndef KELLE_SIM_EVENT_QUEUE_HPP
@@ -11,7 +20,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.hpp"
@@ -19,7 +27,7 @@
 namespace kelle {
 namespace sim {
 
-/** Priority-queue driven event scheduler. */
+/** Heap-driven event scheduler. */
 class EventQueue
 {
   public:
@@ -38,9 +46,21 @@ class EventQueue
     std::uint64_t runUntil(Time t);
 
     Time now() const { return now_; }
-    bool empty() const { return queue_.empty(); }
-    std::size_t pending() const { return queue_.size(); }
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
     std::uint64_t executed() const { return executed_; }
+
+    /** Timestamp of the earliest pending event (queue must not be
+     *  empty). The serving fast-forward bounds its window with this:
+     *  no callback whatsoever runs before it. */
+    Time
+    nextEventTime() const
+    {
+        return heap_.front().when;
+    }
+
+    /** Pre-size the backing storage (events pending at once). */
+    void reserve(std::size_t events) { heap_.reserve(events); }
 
   private:
     struct Event
@@ -63,7 +83,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::vector<Event> heap_; ///< std::push_heap/pop_heap under Later
     Time now_{0};
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

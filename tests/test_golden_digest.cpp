@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Golden-digest regression tier: the full text output (stdout +
+ * stderr) of the serving/cluster benches and the edge_server example
+ * on a small deterministic config is hashed (FNV-1a 64) against a
+ * checked-in digest. Any future perf work that perturbs a single
+ * byte of the simulation's observable results — a latency, an energy
+ * figure, a percentile, a log line — fails here in tier 1 rather
+ * than surfacing as a silent result drift.
+ *
+ * The digests were recorded from the PR 4 engine; the ISSUE 5 fast
+ * path (step-cost memoization, fast-forwarded stepping) reproduces
+ * them bit-for-bit, which is exactly the invariant this test pins.
+ * If a deliberate, reviewed behaviour change moves the outputs,
+ * re-record with the commands in each test and update the constants
+ * in the same commit.
+ *
+ * Binaries are located through KELLE_BIN_DIR (the CMake binary dir,
+ * injected by tests/CMakeLists.txt); a test skips when its binary was
+ * not built (e.g. -DKELLE_BUILD_BENCH=OFF).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef KELLE_BIN_DIR
+#define KELLE_BIN_DIR "."
+#endif
+
+bool
+fileExists(const std::string &path)
+{
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        std::fclose(f);
+        return true;
+    }
+    return false;
+}
+
+/** Run `cmd` (stderr folded into stdout), return its full output. */
+std::string
+capture(const std::string &cmd, int *exit_code)
+{
+    std::string out;
+    std::FILE *pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+    if (pipe == nullptr) {
+        *exit_code = -1;
+        return out;
+    }
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        out.append(buf, n);
+    *exit_code = ::pclose(pipe);
+    return out;
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+expectDigest(const std::string &binary, const std::string &flags,
+             std::uint64_t want)
+{
+    const std::string path = std::string(KELLE_BIN_DIR) + "/" + binary;
+    if (!fileExists(path))
+        GTEST_SKIP() << path << " not built";
+    int exit_code = 0;
+    const std::string out = capture(path + " " + flags, &exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    const std::uint64_t got = fnv1a64(out);
+    EXPECT_EQ(got, want)
+        << "output of `" << binary << " " << flags
+        << "` drifted from the golden digest (got 0x" << std::hex
+        << got << ", want 0x" << want
+        << ").\nIf the change is deliberate, re-record the digest "
+           "from this command's full stdout+stderr.";
+}
+
+TEST(GoldenDigest, BenchServingSmallConfig)
+{
+    expectDigest("bench/bench_serving",
+                 "--rate 0.05 --requests 16 --policy all --sweep 0 "
+                 "--study 0",
+                 0x451a96a526f86c74ull);
+}
+
+TEST(GoldenDigest, BenchClusterSmallHeteroConfig)
+{
+    expectDigest("bench/bench_cluster",
+                 "--devices 2 --hetero --requests 12 --sweep 0 "
+                 "--study 0",
+                 0x0437f79af8453695ull);
+}
+
+TEST(GoldenDigest, EdgeServerDefaultSession)
+{
+    expectDigest("examples/edge_server", "", 0x9852bb7d3bac4ca7ull);
+}
+
+} // namespace
