@@ -155,6 +155,10 @@ main(int argc, char **argv)
                 "fleets (0 = half the eDRAM pool)");
     args.addInt("steps", 0,
                 "max engine steps per device (0 = run to completion)");
+    args.addInt("threads", 1,
+                "worker lanes per cluster run (1 = serial engine, "
+                "0 = hardware threads); output is bit-identical for "
+                "every value");
     args.addBool("burst", false, "bursty (MMPP) arrivals");
     args.addBool("study", true,
                  "run the knee (join-shortest-kv vs round-robin) and "
@@ -200,6 +204,7 @@ main(int argc, char **argv)
     base.engine.chunkSlackFrac = args.getDouble("chunk-slack");
     base.engine.preempt.enabled = args.getBool("preempt");
     base.engine.maxEngineSteps = args.getSize("steps");
+    base.threads = args.getSize("threads");
 
     const std::size_t n_devices = args.getSize("devices");
     const std::size_t max_batch = args.getSize("maxbatch");

@@ -8,18 +8,24 @@
  * engine-steps/sec, the step-cost-cache hit rate and the share of
  * decode boundaries the engine fast-forwarded, plus peak RSS.
  *
- * Emits `BENCH_simspeed.json` (schema in bench/README.md) so the
- * repo's performance trajectory is tracked: CI runs `--quick`,
- * uploads the JSON, and fails when engine-steps/sec regresses more
- * than 30% below the committed baseline
- * (bench/BENCH_simspeed.baseline.json). `--ref` additionally times
- * the same sweep with the fast path off (`ServingConfig::fastSim =
- * false`, the uncached step-at-a-time core) and reports the speedup —
- * a hardware-independent check that the fast path stays fast.
+ * Emits `BENCH_simspeed.json` (schema v2 in bench/README.md) so the
+ * repo's performance trajectory is tracked. The CI gate is
+ * self-relative — `--ref` times the same sweep with the fast path off
+ * (`ServingConfig::fastSim = false`, the uncached step-at-a-time
+ * core) on the same runner and CI fails when the speedup over that
+ * reference drops below its floor — so a slower CI machine cannot
+ * fail the gate and a faster one cannot hide a regression, unlike the
+ * absolute steps/sec floor it replaces.
+ *
+ * `--devices` scales the alternating eDRAM/SRAM fleet and `--threads`
+ * engages the deterministic parallel cluster engine; with threads > 1
+ * the sweep is additionally timed at `threads = 1` and the report
+ * carries a `thread_scaling` section with the speedup (outputs are
+ * bit-identical by construction — only wall-clock varies).
  *
  * Cells run serially (never via parallelFor): each wall-clock sample
- * must own the machine. Simulation outputs remain pure functions of
- * the flags — only the timing varies between runs.
+ * must own the machine (the only intra-cell parallelism is the
+ * cluster engine's own worker lanes when --threads > 1).
  */
 
 #include <chrono>
@@ -36,6 +42,7 @@
 #include "cluster/cluster_engine.hpp"
 #include "common/arg_parser.hpp"
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 
 using namespace kelle;
@@ -62,9 +69,10 @@ peakRssBytes()
 #endif
 }
 
-/** The bench_cluster knee fleet: 2 devices, eDRAM + half-pool SRAM. */
+/** The bench_cluster knee fleet scaled to n devices: alternating
+ *  full-pool eDRAM and half-pool SRAM. */
 std::vector<cluster::DeviceSpec>
-kneeFleet(const model::ModelConfig &m)
+kneeFleet(const model::ModelConfig &m, std::size_t n)
 {
     const auto edram_sys = accel::kelleEdramSystem(2048);
     accel::CapacitySpec spec;
@@ -73,7 +81,7 @@ kneeFleet(const model::ModelConfig &m)
     spec.kvBits = edram_sys.kv.kvBits;
     const std::size_t edram_pool =
         accel::maxSupportedTokens(m, spec).maxTokens;
-    return cluster::heteroEdramSramFleet(2, 2048, edram_pool,
+    return cluster::heteroEdramSramFleet(n, 2048, edram_pool,
                                          edram_pool / 2, 16);
 }
 
@@ -154,19 +162,23 @@ struct Aggregate
 void
 writeJson(const std::string &path, const cluster::ClusterConfig &base,
           bool quick, const std::vector<CellResult> &cells,
-          const Aggregate &fast, const Aggregate *ref)
+          const Aggregate &fast, const Aggregate *ref,
+          const Aggregate *serial)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    std::fprintf(f, "{\n  \"schema\": \"kelle.bench_simspeed/v1\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"kelle.bench_simspeed/v2\",\n");
     std::fprintf(f,
-                 "  \"config\": {\"devices\": 2, \"hetero\": true, "
+                 "  \"config\": {\"devices\": %zu, \"hetero\": true, "
+                 "\"threads\": %zu, \"hardware_threads\": %zu, "
                  "\"requests\": %zu, \"rate_per_sec\": %.6g, "
                  "\"seed\": %llu, \"policy\": \"%s\", "
                  "\"quick\": %s},\n",
+                 base.devices.size(), base.threads,
+                 common::defaultParallelism(),
                  base.engine.traffic.numRequests,
                  base.engine.traffic.ratePerSec,
                  static_cast<unsigned long long>(
@@ -211,6 +223,18 @@ writeJson(const std::string &path, const cluster::ClusterConfig &base,
                 ? ref->wallSec / fast.wallSec
                 : 0.0);
     }
+    if (serial != nullptr) {
+        std::fprintf(
+            f,
+            ",\n  \"thread_scaling\": {\"threads\": %zu, "
+            "\"serial_wall_sec\": %.6f, "
+            "\"serial_engine_steps_per_sec\": %.1f, "
+            "\"speedup\": %.2f}",
+            base.threads, serial->wallSec, serial->stepsPerSec(),
+            serial->wallSec > 0.0 && fast.wallSec > 0.0
+                ? serial->wallSec / fast.wallSec
+                : 0.0);
+    }
     std::fprintf(f, ",\n  \"peak_rss_bytes\": %.0f\n}\n",
                  peakRssBytes());
     std::fclose(f);
@@ -232,6 +256,13 @@ main(int argc, char **argv)
     args.addDouble("rate", 0.03,
                    "mean arrival rate in req/s (the 2-device hetero "
                    "knee of bench_cluster's study)");
+    args.addInt("devices", 2,
+                "fleet size (alternating eDRAM/SRAM knee fleet)");
+    args.addInt("threads", 1,
+                "worker lanes per cluster run (1 = serial engine, "
+                "0 = hardware threads); outputs stay bit-identical — "
+                "with threads > 1 the sweep is also timed serially "
+                "and the report gains a thread_scaling section");
     args.addInt("seed", 42, "arrival-trace seed");
     args.addString("policy", "contbatch",
                    "per-device scheduling policy: " +
@@ -264,14 +295,19 @@ main(int argc, char **argv)
     base.engine.traffic.seed =
         static_cast<std::uint64_t>(args.getInt("seed"));
     base.engine.policy = policy;
-    base.devices = kneeFleet(base.engine.model);
+    base.devices =
+        kneeFleet(base.engine.model,
+                  std::max<std::size_t>(1, args.getSize("devices")));
+    base.threads = args.getSize("threads");
 
     bench::banner(
-        "Sim throughput: 2-device hetero knee sweep, " +
+        "Sim throughput: " + std::to_string(base.devices.size()) +
+        "-device hetero knee sweep, " +
         std::to_string(base.engine.traffic.numRequests) +
         " requests/cell at " +
         Table::num(base.engine.traffic.ratePerSec, 4) +
-        " req/s, policy " + toString(base.engine.policy) + ", seed " +
+        " req/s, policy " + toString(base.engine.policy) + ", " +
+        std::to_string(base.threads) + " worker lane(s), seed " +
         std::to_string(base.engine.traffic.seed));
 
     const auto dispatches = cluster::allDispatchPolicies();
@@ -309,6 +345,29 @@ main(int argc, char **argv)
         Table::pct(fast.cache.hitRate()) + ", fast-forwarded " +
         Table::pct(fast.fastForwardShare()) + " of boundaries");
 
+    Aggregate serial;
+    const bool with_scaling = base.threads != 1;
+    if (with_scaling) {
+        cluster::ClusterConfig one = base;
+        one.threads = 1;
+        bench::banner("Thread scaling: the same sweep on the serial "
+                      "shared-heap engine");
+        Table st({"dispatch", "wall", "steps/s"});
+        for (const auto d : dispatches) {
+            CellResult c = runCell(one, d);
+            serial.add(c);
+            st.addRow({c.dispatch, Table::num(c.wallSec, 3) + " s",
+                       Table::num(c.engineSteps /
+                                      std::max(c.wallSec, 1e-9),
+                                  0)});
+        }
+        st.print("bit-identical outputs; only wall-clock differs");
+        bench::note("thread scaling at " +
+                    std::to_string(base.threads) + " lanes: " +
+                    Table::mult(serial.wallSec /
+                                std::max(fast.wallSec, 1e-9)));
+    }
+
     Aggregate ref;
     const bool with_ref = args.getBool("ref");
     if (with_ref) {
@@ -333,6 +392,7 @@ main(int argc, char **argv)
     }
 
     writeJson(args.getString("json"), base, args.getBool("quick"),
-              cells, fast, with_ref ? &ref : nullptr);
+              cells, fast, with_ref ? &ref : nullptr,
+              with_scaling ? &serial : nullptr);
     return 0;
 }

@@ -37,9 +37,18 @@ function(kelle_discover_suite_tests TARGET)
 "if(EXISTS \"${ctest_file}\")
     include(\"${ctest_file}\")
 else()
-    message(FATAL_ERROR
+    # Not built yet. Register a failing placeholder instead of
+    # aborting ctest outright: a full run still fails loudly, but a
+    # scoped run (ctest -R over targets that WERE built, e.g. the
+    # TSan job's three threaded suites) is not held hostage by
+    # binaries it never asked for.
+    add_test(${TARGET}_suites_not_discovered
+        \"${CMAKE_COMMAND}\" -E echo
         \"suite list of ${TARGET} not generated yet - run the build \"
-        \"(cmake --build <dir>) before ctest\")
+        \"(cmake --build <dir> --target ${TARGET}_suite_discovery) \"
+        \"before ctest\")
+    set_tests_properties(${TARGET}_suites_not_discovered PROPERTIES
+        PASS_REGULAR_EXPRESSION \"unreachable: this test always fails\")
 endif()
 ")
     add_custom_command(

@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 namespace kelle {
 namespace cluster {
@@ -66,6 +68,19 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
 {
     KELLE_ASSERT(!cfg_.devices.empty(),
                  "a cluster needs at least one device");
+    threads_ =
+        cfg_.threads ? cfg_.threads : common::defaultParallelism();
+    threads_ = std::min(threads_, cfg_.devices.size());
+    // Verbose runs stay serial: the parallel engine's state is
+    // bit-identical but its log interleaving would not be.
+    if (cfg_.engine.verbose)
+        threads_ = 1;
+    const bool parallel = threads_ > 1;
+    if (parallel) {
+        localQueues_.reserve(cfg_.devices.size());
+        requeueBufs_.resize(cfg_.devices.size());
+        requeueBufPos_.assign(cfg_.devices.size(), 0);
+    }
     devices_.reserve(cfg_.devices.size());
     for (std::size_t i = 0; i < cfg_.devices.size(); ++i) {
         const DeviceSpec &spec = cfg_.devices[i];
@@ -78,30 +93,77 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
         d.system = spec.system;
         d.poolTokens = spec.poolTokens;
         d.maxBatch = spec.maxBatch;
+        // Parallel engine: each device steps its own event-queue
+        // partition so a lookahead window touches no shared state.
+        sim::EventQueue &q =
+            parallel ? *localQueues_.emplace_back(
+                           std::make_unique<sim::EventQueue>())
+                     : queue_;
         devices_.push_back(std::make_unique<serving::DeviceEngine>(
-            d, queue_, requests_));
+            d, q, requests_));
 
         serving::DeviceEngine::Hooks hooks;
-        // Requeue through an immediate event: the victim re-enters the
-        // dispatch policy after the preempting device's step boundary
-        // completes, never re-entering an engine mid-dispatch.
-        hooks.requeue = [this](std::size_t idx) {
-            queue_.schedule(queue_.now(),
-                            [this, idx] { dispatchArrival(idx); });
-        };
-        // With preemption off, the only events that can reach a device
-        // from outside are the trace arrivals, so a device may
-        // fast-forward straight through other devices' step
-        // completions (they touch only their own device and commute
-        // with this one's boundaries). With preemption on, a victim
-        // requeue can land anywhere at any boundary — leave the hook
-        // unset and fall back to the conservative global bound.
-        if (!cfg_.engine.preempt.enabled) {
+        if (parallel) {
+            // Emissions are buffered, never dispatched inline: the
+            // coordinator merges them after the round in the serial
+            // heap's pop order. The fast-forward horizon is the
+            // coordinator's current window horizon, constant while
+            // any worker is running.
+            hooks.requeue = [this, i](std::size_t idx) {
+                requeueBufs_[i].push_back(idx);
+            };
             hooks.nextExternalEvent = [this] {
-                return arrivalCursor_ < requests_.size()
-                           ? requests_[arrivalCursor_].arrival
-                           : Time::seconds(
-                                 std::numeric_limits<double>::infinity());
+                return windowHorizon_;
+            };
+        } else {
+            // Requeue through an immediate event: the victim re-enters
+            // the dispatch policy after the preempting device's step
+            // boundary completes, never re-entering an engine
+            // mid-dispatch. The canonical priority (1 + emitting
+            // device index) fixes the pop order of same-time requeues
+            // from different devices to device-index order — the one
+            // cross-device tie the insertion sequence left dependent
+            // on execution history, which the parallel engine cannot
+            // reproduce.
+            hooks.requeue = [this, i](std::size_t idx) {
+                ++pendingRequeues_;
+                queue_.schedule(
+                    queue_.now(),
+                    [this, idx] {
+                        --pendingRequeues_;
+                        dispatchArrival(idx);
+                    },
+                    1 + static_cast<int>(i));
+            };
+            // With preemption off, the only events that can reach a
+            // device from outside are the trace arrivals, so a device
+            // may fast-forward straight through other devices' step
+            // completions (they touch only their own device and
+            // commute with this one's boundaries). With preemption
+            // on, the same holds up to the earliest instant any
+            // *other* device could emit a victim requeue — a
+            // scheduled-but-undispatched requeue pins the bound to
+            // `now`. The engine stops its own window before its own
+            // preemption scan would fire, so device i's bound is
+            // excluded from its own horizon.
+            hooks.nextExternalEvent = [this, i] {
+                Time bound =
+                    arrivalCursor_ < requests_.size()
+                        ? requests_[arrivalCursor_].arrival
+                        : Time::seconds(
+                              std::numeric_limits<double>::infinity());
+                if (!cfg_.engine.preempt.enabled)
+                    return bound;
+                if (pendingRequeues_ > 0)
+                    return queue_.now();
+                for (std::size_t j = 0; j < devices_.size(); ++j) {
+                    if (j == i)
+                        continue;
+                    bound = std::min(
+                        bound, devices_[j]->nextPossibleRequeueTime(
+                                   queue_.now()));
+                }
+                return bound;
             };
         }
         devices_.back()->setHooks(std::move(hooks));
@@ -124,8 +186,8 @@ ClusterEngine::statuses()
     return statusScratch_;
 }
 
-void
-ClusterEngine::dispatchArrival(std::size_t idx)
+std::size_t
+ClusterEngine::pickDevice(std::size_t idx)
 {
     std::size_t d = dispatch_->pick(requests_[idx], statuses());
     KELLE_ASSERT(d < devices_.size(),
@@ -158,13 +220,26 @@ ClusterEngine::dispatchArrival(std::size_t idx)
                " MiB, ", devices_[d]->waitingCount(), " waiting, ",
                devices_[d]->activeCount(), " resident)");
     }
+    return d;
+}
+
+void
+ClusterEngine::dispatchArrival(std::size_t idx)
+{
+    devices_[pickDevice(idx)]->enqueue(idx);
+}
+
+void
+ClusterEngine::dispatchAt(Time t, std::size_t idx)
+{
+    const std::size_t d = pickDevice(idx);
+    localQueues_[d]->advanceTo(t);
     devices_[d]->enqueue(idx);
 }
 
-ClusterReport
-ClusterEngine::run()
+void
+ClusterEngine::runSerial()
 {
-    requests_ = serving::generateTrace(cfg_.engine.traffic);
     // All arrivals up front plus one in-flight step per device and
     // the occasional preemption requeue.
     queue_.reserve(requests_.size() + devices_.size() + 8);
@@ -178,6 +253,145 @@ ClusterEngine::run()
         });
     }
     queue_.runAll();
+}
+
+Time
+ClusterEngine::nextRequeueBound() const
+{
+    Time bound =
+        Time::seconds(std::numeric_limits<double>::infinity());
+    if (!cfg_.engine.preempt.enabled)
+        return bound;
+    // A device's future boundaries all lie at or after its next
+    // pending event (no external work can reach it inside the window
+    // being sized here), so its doom clocks for not-yet-decoding
+    // members start no earlier than that.
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+        bound = std::min(bound,
+                         devices_[i]->nextPossibleRequeueTime(
+                             localQueues_[i]->nextEventTime()));
+    return bound;
+}
+
+void
+ClusterEngine::drainRequeues(Time t)
+{
+    // Serial pop order for same-time requeues is (priority = 1 +
+    // emitting device, insertion seq): lowest emitting device first,
+    // then per-device emission order — including victims emitted by
+    // the dispatches this loop itself performs.
+    for (;;) {
+        std::size_t emitter = devices_.size();
+        for (std::size_t i = 0; i < devices_.size(); ++i) {
+            if (requeueBufPos_[i] < requeueBufs_[i].size()) {
+                emitter = i;
+                break;
+            }
+        }
+        if (emitter == devices_.size())
+            break;
+        const std::size_t idx =
+            requeueBufs_[emitter][requeueBufPos_[emitter]++];
+        dispatchAt(t, idx);
+    }
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        requeueBufs_[i].clear();
+        requeueBufPos_[i] = 0;
+    }
+}
+
+void
+ClusterEngine::runParallel()
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    common::ThreadPool pool(threads_);
+    const std::size_t nd = devices_.size();
+    for (auto &q : localQueues_)
+        q->reserve(8);
+    for (;;) {
+        const Time arrival =
+            arrivalCursor_ < requests_.size()
+                ? requests_[arrivalCursor_].arrival
+                : Time::seconds(inf);
+        Time nextEvent = Time::seconds(inf);
+        for (const auto &q : localQueues_)
+            nextEvent = std::min(nextEvent, q->nextEventTime());
+        if (!(arrival.sec() < inf) && !(nextEvent.sec() < inf))
+            break; // drained (requeue buffers never persist a round)
+        const Time horizon = std::min(arrival, nextRequeueBound());
+        if (nextEvent < horizon) {
+            // Lookahead window: every device advances its own
+            // partition to the horizon concurrently. Nothing crosses
+            // devices before it — arrivals land at or after it, and
+            // no device can emit a requeue before `nextRequeueBound`
+            // (its own in-window preemptions are stopped by the
+            // engine's doom check, everyone else's by the bound).
+            windowHorizon_ = horizon;
+            // A window with one active partition needs no barrier:
+            // run it inline and leave the workers parked (the common
+            // shape between sparse arrivals).
+            std::size_t active = 0, only = 0;
+            for (std::size_t i = 0; i < nd; ++i) {
+                if (localQueues_[i]->nextEventTime() < horizon) {
+                    ++active;
+                    only = i;
+                }
+            }
+            if (active == 1)
+                localQueues_[only]->runBefore(windowHorizon_);
+            else
+                pool.forEach(nd, [this](std::size_t i) {
+                    localQueues_[i]->runBefore(windowHorizon_);
+                });
+            for (std::size_t i = 0; i < nd; ++i)
+                KELLE_ASSERT(requeueBufs_[i].empty(),
+                             "a lookahead window emitted a requeue");
+            continue;
+        }
+        // Serialized round at t0 — the earliest pending work — with
+        // phases in the serial heap's pop order: arrivals in trace
+        // order, then same-time step boundaries (priority 0; they
+        // commute across devices, so device-index order is safe),
+        // then requeues in canonical order. With preemption on, an
+        // injection can cascade into same-time emissions targeting
+        // devices already stepped, so lookahead is disabled for the
+        // round; with it off, a boundary may fast-forward up to the
+        // next still-pending arrival exactly like the serial engine.
+        const Time t0 = std::min(arrival, nextEvent);
+        const bool lookahead = !cfg_.engine.preempt.enabled;
+        windowHorizon_ = t0;
+        if (arrival == t0) {
+            while (arrivalCursor_ < requests_.size() &&
+                   requests_[arrivalCursor_].arrival == t0) {
+                const std::size_t idx = arrivalCursor_++;
+                if (lookahead)
+                    windowHorizon_ =
+                        arrivalCursor_ < requests_.size()
+                            ? requests_[arrivalCursor_].arrival
+                            : Time::seconds(inf);
+                dispatchAt(t0, idx);
+            }
+        }
+        if (lookahead)
+            windowHorizon_ = arrivalCursor_ < requests_.size()
+                                 ? requests_[arrivalCursor_].arrival
+                                 : Time::seconds(inf);
+        for (std::size_t i = 0; i < nd; ++i) {
+            while (localQueues_[i]->nextEventTime() == t0)
+                localQueues_[i]->runNext();
+        }
+        drainRequeues(t0);
+    }
+}
+
+ClusterReport
+ClusterEngine::run()
+{
+    requests_ = serving::generateTrace(cfg_.engine.traffic);
+    if (threads_ > 1)
+        runParallel();
+    else
+        runSerial();
 
     // Makespan is first arrival to last completion anywhere in the
     // fleet; the idle lead-in before the first arrival is not serving

@@ -74,6 +74,18 @@ struct ClusterConfig
     DispatchKind dispatch = DispatchKind::RoundRobin;
     /** The fleet; must not be empty. */
     std::vector<DeviceSpec> devices;
+    /**
+     * Worker lanes for the deterministic parallel engine: 1 (default)
+     * runs the serial shared-heap engine; 0 means one lane per
+     * hardware thread; N caps at N lanes. Lanes are clamped to the
+     * fleet size, and verbose runs always fall back to serial so the
+     * log interleaving stays the serial one. Every value yields a
+     * bit-identical ClusterReport — the parallel engine advances each
+     * device only to a conservative lookahead horizon and merges
+     * cross-device effects in the serial heap's pop order (see
+     * docs/ARCHITECTURE.md, "Parallel cluster engine").
+     */
+    std::size_t threads = 1;
 };
 
 /** N identical devices named dev0..devN-1. */
@@ -124,9 +136,21 @@ class ClusterEngine
     }
 
   private:
+    /** Dispatch-policy pick plus the canEverAdmit fallback. */
+    std::size_t pickDevice(std::size_t idx);
     void dispatchArrival(std::size_t idx);
+    /** Parallel-mode dispatch: line the target's partition clock up
+     *  with the globally-timestamped injection, then enqueue. */
+    void dispatchAt(Time t, std::size_t idx);
     /** Refresh and return the reusable status-snapshot scratch. */
     const std::vector<DeviceStatus> &statuses();
+    void runSerial();
+    void runParallel();
+    /** Dispatch buffered preemption requeues in the serial heap's pop
+     *  order: (emitting device index, per-device emission order). */
+    void drainRequeues(Time t);
+    /** Earliest requeue any device could still emit (+inf when none). */
+    Time nextRequeueBound() const;
 
     ClusterConfig cfg_;
     sim::EventQueue queue_;
@@ -138,6 +162,29 @@ class ClusterEngine
     /** Index of the earliest trace arrival not yet dispatched (feeds
      *  the devices' fast-forward horizon; see Hooks). */
     std::size_t arrivalCursor_ = 0;
+
+    /** Resolved worker lanes (1 = serial engine). */
+    std::size_t threads_ = 1;
+    /** @name Parallel-engine state (threads_ > 1 only)
+     * Each device steps its own event-queue partition; the coordinator
+     * alternates lock-free lookahead windows (no cross-device effect
+     * can occur before the horizon) with serialized rounds that merge
+     * arrivals, same-time boundaries and requeues in the serial heap's
+     * pop order. `windowHorizon_` backs Hooks::nextExternalEvent: it
+     * is written by the coordinator only while the workers are joined,
+     * and read by them only inside a window.
+     * @{ */
+    std::vector<std::unique_ptr<sim::EventQueue>> localQueues_;
+    Time windowHorizon_;
+    /** Preemption victims emitted this round, one buffer per emitting
+     *  device, consumed from `requeueBufPos_`. */
+    std::vector<std::vector<std::size_t>> requeueBufs_;
+    std::vector<std::size_t> requeueBufPos_;
+    /** @} */
+
+    /** Serial mode: requeue events scheduled but not yet dispatched —
+     *  while nonzero, no device may fast-forward past `now`. */
+    int pendingRequeues_ = 0;
 };
 
 } // namespace cluster

@@ -1,6 +1,7 @@
 #include "serving/device_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "accel/capacity.hpp"
@@ -241,8 +242,10 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
         return true;
     }
     const auto grant = allocator_.tryAdmit(requested, floor_tokens);
-    if (!grant.admitted)
+    if (!grant.admitted) {
+        deferScratch_.emplace_back(requested, floor_tokens);
         return false;
+    }
 
     if (r.preemptions > 0)
         --waitingPreempted_;
@@ -280,6 +283,8 @@ DeviceEngine::admitWaiting()
         return;
     std::vector<std::size_t> &admitted_now = admittedNowScratch_;
     admitted_now.clear();
+    deferScratch_.clear();
+    const std::size_t waiting_before = waiting_.size();
     if (policy_->fifoAdmission()) {
         // Arrival-order admission straight off the waiting queue: no
         // order snapshot, and every removal pops the current position
@@ -308,6 +313,20 @@ DeviceEngine::admitWaiting()
             }
         }
     }
+
+    // A round that attempted candidates and deferred every one of
+    // them (none admitted, none rejected — the waiting queue is
+    // unchanged) left no observable state behind except the
+    // deferrals just recorded in deferScratch_, and from this frozen
+    // state the next round must do exactly the same: the allocator's
+    // verdict is a pure function of (requested, floor) against
+    // unchanged pool state, so even the time-dependent admission
+    // orders replay to the identical deferral multiset. The decode
+    // fast-forward uses this to replay KV-blocked boundaries for
+    // every policy, including the reordering ones.
+    lastRoundAllDeferred_ = admitted_now.empty() &&
+                            waiting_.size() == waiting_before &&
+                            !deferScratch_.empty();
 
     // Starvation accounting, settled after the round: an admission
     // overtook only the earlier arrivals it left *still waiting* —
@@ -413,29 +432,30 @@ DeviceEngine::onPrefillDone()
 }
 
 std::size_t
-DeviceEngine::silentStepBudget(bool *defer_head) const
+DeviceEngine::silentStepBudget(bool *replay_deferrals) const
 {
-    *defer_head = false;
+    *replay_deferrals = false;
     if (!cfg_.fastSim || !admitted_.empty())
         return 0;
     if (!waiting_.empty()) {
         // A non-empty queue feeds the preemption scan, and admits at
         // the next boundary unless the batch is capped or the pool is
         // exhausted. The capped case is a provable no-op. The
-        // KV-blocked case — batch slots free but the head's floor not
-        // fitting the free bytes — is replayable for arrival-order,
-        // non-skipping policies: the round attempts exactly the head
-        // and defers it, which the fast-forward re-performs per
-        // boundary so the deferral accounting stays identical.
-        // Reordering (or skip-blocked) policies attempt every
-        // candidate per round; leave those boundaries real.
-        if (cfg_.preempt.enabled)
-            return 0;
+        // KV-blocked case — batch slots free but no waiter's floor
+        // fitting the free bytes — is replayable whenever the round
+        // that just ran was pure deferrals: the fast-forward
+        // re-performs the recorded (requested, floor) attempts per
+        // boundary so the deferral accounting stays identical. This
+        // covers arrival-order head-of-line blocking (the round
+        // attempted exactly the head) and the reordering policies'
+        // all-blocked rounds alike. Preemption no longer disables
+        // fast-forwarding: runDecodeStep stops the window before the
+        // first boundary whose preemption scan would fire.
         if (admitted_.size() + running_.size() <
             policy_->admissionCap(cfg_.maxBatch)) {
-            if (!policy_->fifoAdmission() || policy_->skipBlocked())
+            if (!lastRoundAllDeferred_)
                 return 0;
-            *defer_head = true;
+            *replay_deferrals = true;
         }
     }
     std::size_t min_rem = 0;
@@ -454,6 +474,49 @@ DeviceEngine::silentStepBudget(bool *defer_head) const
         budget = std::min(budget, static_cast<std::size_t>(room));
     }
     return budget;
+}
+
+Time
+DeviceEngine::nextPossibleRequeueTime(Time now) const
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    if (!cfg_.preempt.enabled || waiting_.empty())
+        return Time::seconds(inf);
+    double bound = inf;
+    for (std::size_t idx : running_) {
+        const Request &r = requests_[idx];
+        if (r.preemptions > 0 || r.tpotTargetSec <= 0.0 ||
+            r.task.decLen == 0 || r.done())
+            continue;
+        const double doomed_at =
+            cfg_.preempt.doomFactor * r.tpotTargetSec *
+            static_cast<double>(r.task.decLen);
+        // One-ulp shave: the scan's (t - firstToken) > doomed_at uses
+        // a subtraction this sum does not, so the sum may round above
+        // the earliest triggering t by half an ulp.
+        bound = std::min(bound, std::nextafter(
+                                    r.firstToken.sec() + doomed_at,
+                                    -inf));
+    }
+    // Waiters and prefilling admits may start decoding inside another
+    // device's window, but their doom clock starts no earlier than
+    // `now`.
+    const auto consider = [&](std::size_t idx) {
+        const Request &r = requests_[idx];
+        if (r.preemptions > 0 || r.tpotTargetSec <= 0.0 ||
+            r.task.decLen == 0)
+            return;
+        const double doomed_at =
+            cfg_.preempt.doomFactor * r.tpotTargetSec *
+            static_cast<double>(r.task.decLen);
+        bound = std::min(bound,
+                         std::nextafter(now.sec() + doomed_at, -inf));
+    };
+    for (std::size_t idx : admitted_)
+        consider(idx);
+    for (std::size_t idx : waiting_)
+        consider(idx);
+    return Time::seconds(bound);
 }
 
 void
@@ -486,19 +549,28 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
     // lookup at all) once every member is clamped. Only the final,
     // state-changing boundary re-enters the queue.
     Time t = queue_.now();
-    bool defer_head = false;
-    std::size_t silent = silentStepBudget(&defer_head);
+    bool replay_deferrals = false;
+    std::size_t silent = silentStepBudget(&replay_deferrals);
     if (silent > 0) {
-        // KV-blocked head-of-line admission: replicate the per-round
-        // head attempt (it must keep failing — the allocator state is
-        // frozen inside the window — and each failure records the
-        // same deferral the event-driven round would).
-        std::size_t head_requested = 0;
-        std::size_t head_floor = 0;
-        if (defer_head) {
-            const Request &head = requests_[waiting_.front()];
-            head_requested = requestedBudget(head.task);
-            head_floor = minBudget(head.task);
+        // Preemption stays armed inside the window: collect the batch
+        // members the boundary scan would examine (it only runs with
+        // waiting demand, and the waiting queue is frozen here) and
+        // stop the window before the first boundary where any of them
+        // crosses its doom time — evaluated with the scan's own
+        // subtract-then-compare arithmetic so the stop is bit-exact,
+        // and that boundary runs through the real event path.
+        doomScratch_.clear();
+        if (cfg_.preempt.enabled && !waiting_.empty()) {
+            for (std::size_t idx : running_) {
+                const Request &r = requests_[idx];
+                if (r.preemptions > 0 || r.tpotTargetSec <= 0.0 ||
+                    r.task.decLen == 0 || r.done())
+                    continue;
+                doomScratch_.emplace_back(
+                    r.firstToken,
+                    cfg_.preempt.doomFactor * r.tpotTargetSec *
+                        static_cast<double>(r.task.decLen));
+            }
         }
         bool bounded;
         Time horizon;
@@ -522,6 +594,15 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
             const Time tn = t + step->latency;
             if (bounded && !(tn < horizon))
                 break;
+            bool doomed = false;
+            for (const auto &d : doomScratch_) {
+                if ((tn - d.first).sec() > d.second) {
+                    doomed = true;
+                    break;
+                }
+            }
+            if (doomed)
+                break;
             t = tn;
             std::size_t growth = 0;
             for (std::size_t idx : inFlightBatch_) {
@@ -533,12 +614,20 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
                 if (r.task.ctxLen + r.generated < r.budgetGranted)
                     ++growth; // resident grows again next step
             }
-            if (defer_head) {
-                const auto grant =
-                    allocator_.tryAdmit(head_requested, head_floor);
-                KELLE_ASSERT(!grant.admitted,
-                             "fast-forward window admitted a request "
-                             "the event-driven round had deferred");
+            if (replay_deferrals) {
+                // The admission round from frozen state: re-attempt
+                // the recorded (requested, floor) pairs; each must
+                // keep failing — allocator state is frozen inside the
+                // window — and each failure records the same deferral
+                // the event-driven round would.
+                for (const auto &defer : deferScratch_) {
+                    const auto grant =
+                        allocator_.tryAdmit(defer.first, defer.second);
+                    KELLE_ASSERT(!grant.admitted,
+                                 "fast-forward window admitted a "
+                                 "request the event-driven round had "
+                                 "deferred");
+                }
             }
             ++engineSteps_;
             ++decodeSteps_;

@@ -53,6 +53,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/step_cost_cache.hpp"
@@ -172,6 +173,22 @@ class DeviceEngine
         return minBudget(r.task) <= allocator_.capacityTokens();
     }
     std::size_t dispatched() const { return dispatched_; }
+    /**
+     * Conservative lower bound on when this device could next hand a
+     * preemption victim back through `Hooks::requeue`, +inf when it
+     * provably cannot before new work reaches it (preemption off, or
+     * no waiting demand — the waiting queue only shrinks until the
+     * owner enqueues again). The parallel coordinator bounds other
+     * devices' lookahead windows with this: a decode that is running
+     * now is not doomed before `firstToken + doomFactor x tpotTarget
+     * x decLen`, and one that starts decoding later starts its doom
+     * clock no earlier than `now`. Each term is shaved one ulp so the
+     * bound stays below the preemption scan's own rounding. The bound
+     * may lie in the past (a survivor already past its doom time is
+     * preemptable at its very next boundary); callers must fall back
+     * to serial stepping for that round.
+     */
+    Time nextPossibleRequeueTime(Time now) const;
     /** @} */
 
     /** @name Run outcome, read by the owner after the queue drains. @{ */
@@ -215,10 +232,10 @@ class DeviceEngine
     void onDecodeDone();
     /** Upper bound on decode boundaries that may be replayed inline
      *  after the in-flight step (0 = fast-forward ineligible). Sets
-     *  `*defer_head` when each replayed boundary must re-attempt (and
-     *  re-defer) the KV-blocked waiting head to keep the allocator's
-     *  deferral accounting identical. */
-    std::size_t silentStepBudget(bool *defer_head) const;
+     *  `*replay_deferrals` when each replayed boundary must re-attempt
+     *  (and re-defer) the admission round recorded in `deferScratch_`
+     *  to keep the allocator's deferral accounting identical. */
+    std::size_t silentStepBudget(bool *replay_deferrals) const;
     /** Step costs through the cache when fastSim is on. */
     const accel::StepReport &
     decodeStepCost(const std::vector<std::size_t> &resident);
@@ -267,7 +284,20 @@ class DeviceEngine
     std::size_t inFlightPrefillIdx_ = 0;
     std::size_t inFlightPrefillTokens_ = 0;
     accel::StepReport stepScratch_; ///< fastSim-off cost slot
+    /** The last admission round's blocked attempts as (requested,
+     *  floor) pairs, appended by tryAdmitAt; the decode fast-forward
+     *  replays them per boundary when the round was pure deferrals. */
+    std::vector<std::pair<std::size_t, std::size_t>> deferScratch_;
+    /** (firstToken, doom delta) per preemption-eligible batch member;
+     *  the fast-forward stops before any boundary where the event
+     *  path's preemption scan would fire. */
+    std::vector<std::pair<Time, double>> doomScratch_;
     /** @} */
+
+    /** Last admitWaiting round attempted >= 1 candidate and every
+     *  attempt was an allocator deferral (none admitted or rejected):
+     *  the round is bit-exactly replayable from frozen state. */
+    bool lastRoundAllDeferred_ = false;
 
     bool engineBusy_ = false;
     bool truncated_ = false;

@@ -46,6 +46,28 @@ EventQueue::runAll(std::uint64_t limit)
 }
 
 std::uint64_t
+EventQueue::runBefore(Time t)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.front().when < t) {
+        runNext();
+        ++n;
+    }
+    return n;
+}
+
+void
+EventQueue::advanceTo(Time t)
+{
+    KELLE_ASSERT(heap_.empty() || !(heap_.front().when < t),
+                 "advancing the clock past a pending event: ",
+                 heap_.empty() ? 0.0 : heap_.front().when.sec(),
+                 " < ", t.sec());
+    if (t > now_)
+        now_ = t;
+}
+
+std::uint64_t
 EventQueue::runUntil(Time t)
 {
     std::uint64_t n = 0;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/units.hpp"
@@ -44,19 +45,38 @@ class EventQueue
     std::uint64_t runAll(std::uint64_t limit = UINT64_MAX);
     /** Run events with time <= t, then advance now to t. */
     std::uint64_t runUntil(Time t);
+    /**
+     * Run events with time strictly < t; `now` is left at the last
+     * executed event (not advanced to t). The parallel cluster engine
+     * drains each device's partition up to a lookahead horizon with
+     * this: events at exactly the horizon must wait for the global
+     * events (arrivals, requeues) that sort before them.
+     */
+    std::uint64_t runBefore(Time t);
+    /**
+     * Advance `now` to t without running anything. Panics if an event
+     * earlier than t is still pending — advancing past it would
+     * execute it in the past. Owners use this to line a partition's
+     * clock up with a globally-timestamped injection (an arrival
+     * dispatch) before scheduling into it.
+     */
+    void advanceTo(Time t);
 
     Time now() const { return now_; }
     bool empty() const { return heap_.empty(); }
     std::size_t pending() const { return heap_.size(); }
     std::uint64_t executed() const { return executed_; }
 
-    /** Timestamp of the earliest pending event (queue must not be
-     *  empty). The serving fast-forward bounds its window with this:
-     *  no callback whatsoever runs before it. */
+    /** Timestamp of the earliest pending event, +infinity when the
+     *  queue is empty. The serving fast-forward bounds its window
+     *  with this: no callback whatsoever runs before it. */
     Time
     nextEventTime() const
     {
-        return heap_.front().when;
+        return heap_.empty()
+                   ? Time::seconds(
+                         std::numeric_limits<double>::infinity())
+                   : heap_.front().when;
     }
 
     /** Pre-size the backing storage (events pending at once). */

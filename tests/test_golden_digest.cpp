@@ -106,6 +106,34 @@ TEST(GoldenDigest, BenchClusterSmallHeteroConfig)
                  0x0437f79af8453695ull);
 }
 
+TEST(GoldenDigest, BenchClusterThreadedMatchesSerialDigest)
+{
+    // The parallel cluster engine's whole contract in one line: the
+    // threaded run hashes to the *same* golden digest as the serial
+    // one above. A changed byte anywhere in the report means the
+    // lookahead/commit protocol reordered something observable.
+    expectDigest("bench/bench_cluster",
+                 "--devices 2 --hetero --requests 12 --sweep 0 "
+                 "--study 0 --threads 4",
+                 0x0437f79af8453695ull);
+}
+
+TEST(GoldenDigest, BenchClusterThreadedPreemptMatchesSerialDigest)
+{
+    // Same pinning for the preempt-and-requeue path: the serialized
+    // fallback rounds must merge cross-device requeues exactly as the
+    // serial heap would. Serial and 4-lane digests are recorded from
+    // the same command modulo --threads, and must stay equal.
+    expectDigest("bench/bench_cluster",
+                 "--devices 2 --hetero --requests 12 --sweep 0 "
+                 "--study 0 --preempt --rate 0.08",
+                 0x5ae60e7db71c5026ull);
+    expectDigest("bench/bench_cluster",
+                 "--devices 2 --hetero --requests 12 --sweep 0 "
+                 "--study 0 --preempt --rate 0.08 --threads 4",
+                 0x5ae60e7db71c5026ull);
+}
+
 TEST(GoldenDigest, EdgeServerDefaultSession)
 {
     expectDigest("examples/edge_server", "", 0x9852bb7d3bac4ca7ull);

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Property tests of the deterministic parallel cluster engine: every
+ * threaded run must produce a ClusterReport bit-identical to the
+ * serial shared-heap engine (`threads = 1`), across the full
+ * (policy x dispatch x fleet x seed) sweep, with preemption on and
+ * off, and including configurations where the fast-forward window
+ * logic actually fires (`fastForwardedSteps > 0`).
+ *
+ * Suites are split on purpose so per-suite ctest registration
+ * (cmake/KelleGtestSuites.cmake) shards the sim-scale sweeps:
+ *
+ *  - ParallelSweep: threads {2,4,8} x all scheduling policies x all
+ *    dispatch policies x homo/hetero fleets x 3 seeds, bitwise equal
+ *    to the serial run of the same cell.
+ *  - ParallelPreempt: preempt-and-requeue on — the serialized
+ *    fallback rounds must replay cross-device requeues in the serial
+ *    heap's pop order.
+ *  - ParallelFastForward: KV-blocked sjf/edf cells where devices
+ *    fast-forward through idle gaps inside lookahead windows.
+ *  - ParallelOracle: the event-path oracle — `fastSim = false` (the
+ *    step-at-a-time loop) agrees bitwise with the fast path under
+ *    preemption and under deferral-replay policies, serial and
+ *    threaded alike.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_engine.hpp"
+
+namespace kelle {
+namespace {
+
+std::vector<std::pair<sim::Task, double>>
+tinyMix()
+{
+    return {{sim::scaledForTiny(sim::lambada(), 96), 1.0},
+            {sim::scaledForTiny(sim::triviaQa(), 128), 1.0}};
+}
+
+cluster::ClusterConfig
+tinyClusterConfig(std::size_t n_devices, cluster::DispatchKind dispatch,
+                  serving::SchedulePolicy policy, double rate,
+                  std::uint64_t seed, std::size_t requests)
+{
+    serving::ServingConfig cfg;
+    cfg.model = model::tinyLm();
+    cfg.system = accel::kelleEdramSystem(2048);
+    cfg.policy = policy;
+    cfg.maxBatch = 4;
+    cfg.poolTokens = 512;
+    cfg.traffic.ratePerSec = rate;
+    cfg.traffic.seed = seed;
+    cfg.traffic.numRequests = requests;
+    cfg.traffic.mix = tinyMix();
+    return cluster::clusterConfigFrom(cfg, n_devices, dispatch);
+}
+
+/** Field-for-field bitwise equality of two serving summaries. */
+void
+expectSummariesBitIdentical(const serving::ServingSummary &a,
+                            const serving::ServingSummary &b,
+                            const std::string &label)
+{
+    EXPECT_EQ(a.completed, b.completed) << label;
+    EXPECT_EQ(a.rejected, b.rejected) << label;
+    EXPECT_EQ(a.makespan.sec(), b.makespan.sec()) << label;
+    EXPECT_EQ(a.ttftMean, b.ttftMean) << label;
+    EXPECT_EQ(a.ttftP50, b.ttftP50) << label;
+    EXPECT_EQ(a.ttftP95, b.ttftP95) << label;
+    EXPECT_EQ(a.ttftP99, b.ttftP99) << label;
+    EXPECT_EQ(a.e2eP50, b.e2eP50) << label;
+    EXPECT_EQ(a.e2eP95, b.e2eP95) << label;
+    EXPECT_EQ(a.e2eP99, b.e2eP99) << label;
+    EXPECT_EQ(a.tpotMean, b.tpotMean) << label;
+    EXPECT_EQ(a.tpotP50, b.tpotP50) << label;
+    EXPECT_EQ(a.tpotP95, b.tpotP95) << label;
+    EXPECT_EQ(a.tokenGapP95, b.tokenGapP95) << label;
+    EXPECT_EQ(a.goodputTokensPerSec, b.goodputTokensPerSec) << label;
+    EXPECT_EQ(a.sloTtftAttainment, b.sloTtftAttainment) << label;
+    EXPECT_EQ(a.sloTpotAttainment, b.sloTpotAttainment) << label;
+    EXPECT_EQ(a.sloAttainment, b.sloAttainment) << label;
+    EXPECT_EQ(a.admissionBypasses, b.admissionBypasses) << label;
+    EXPECT_EQ(a.preemptions, b.preemptions) << label;
+    EXPECT_EQ(a.maxQueueWaitSec, b.maxQueueWaitSec) << label;
+    EXPECT_EQ(a.meanQueueDepth, b.meanQueueDepth) << label;
+    EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth) << label;
+    EXPECT_EQ(a.meanBudgetFraction, b.meanBudgetFraction) << label;
+    EXPECT_EQ(a.energy.total().j(), b.energy.total().j()) << label;
+    EXPECT_EQ(a.energy.refresh.j(), b.energy.refresh.j()) << label;
+    EXPECT_EQ(a.energyPerToken, b.energyPerToken) << label;
+}
+
+void
+expectReportsBitIdentical(const serving::ServingReport &a,
+                          const serving::ServingReport &b,
+                          const std::string &label)
+{
+    expectSummariesBitIdentical(a.summary, b.summary, label);
+    EXPECT_EQ(a.engineSteps, b.engineSteps) << label;
+    EXPECT_EQ(a.decodeSteps, b.decodeSteps) << label;
+    EXPECT_EQ(a.prefillChunks, b.prefillChunks) << label;
+    EXPECT_EQ(a.prefills, b.prefills) << label;
+    EXPECT_EQ(a.poolTokens, b.poolTokens) << label;
+    EXPECT_EQ(a.poolCapacityBytes, b.poolCapacityBytes) << label;
+    EXPECT_EQ(a.poolPeakBytes, b.poolPeakBytes) << label;
+    EXPECT_EQ(a.shrunkGrants, b.shrunkGrants) << label;
+    EXPECT_EQ(a.deferrals, b.deferrals) << label;
+    EXPECT_EQ(a.drained, b.drained) << label;
+}
+
+/** The whole fleet report, device-by-device, bit for bit. */
+void
+expectClustersBitIdentical(const cluster::ClusterReport &a,
+                           const cluster::ClusterReport &b,
+                           const std::string &label)
+{
+    expectReportsBitIdentical(a.aggregate, b.aggregate, label);
+    EXPECT_EQ(a.loadImbalanceCv, b.loadImbalanceCv) << label;
+    EXPECT_EQ(a.meanKvPeakUtilization, b.meanKvPeakUtilization)
+        << label;
+    EXPECT_EQ(a.refreshEnergyJ, b.refreshEnergyJ) << label;
+    ASSERT_EQ(a.devices.size(), b.devices.size()) << label;
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        const std::string dev = label + " dev" + std::to_string(i);
+        EXPECT_EQ(a.devices[i].name, b.devices[i].name) << dev;
+        EXPECT_EQ(a.devices[i].dispatched, b.devices[i].dispatched)
+            << dev;
+        EXPECT_EQ(a.devices[i].busySec, b.devices[i].busySec) << dev;
+        EXPECT_EQ(a.devices[i].kvPeakUtilization,
+                  b.devices[i].kvPeakUtilization)
+            << dev;
+        expectReportsBitIdentical(a.devices[i].report,
+                                  b.devices[i].report, dev);
+    }
+}
+
+/** Run the cell serially, then assert every thread count matches. */
+void
+expectThreadInvariant(cluster::ClusterConfig cfg,
+                      const std::string &label)
+{
+    cfg.threads = 1;
+    const auto serial = cluster::ClusterEngine(cfg).run();
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+        cfg.threads = threads;
+        const auto par = cluster::ClusterEngine(cfg).run();
+        expectClustersBitIdentical(
+            serial, par, label + "/t" + std::to_string(threads));
+    }
+}
+
+// ---- The full sweep -----------------------------------------------------
+
+TEST(ParallelSweep, HomogeneousFleetMatchesSerialBitExactly)
+{
+    for (auto policy : serving::allSchedulePolicies()) {
+        for (auto dispatch : cluster::allDispatchPolicies()) {
+            for (std::uint64_t seed : {3u, 17u, 99u}) {
+                auto cfg = tinyClusterConfig(4, dispatch, policy,
+                                             300.0, seed, 24);
+                cfg.engine.chunkTokens = 16;
+                expectThreadInvariant(
+                    cfg, toString(policy) + "/" + toString(dispatch) +
+                             "/s" + std::to_string(seed));
+            }
+        }
+    }
+}
+
+TEST(ParallelSweep, HeterogeneousFleetMatchesSerialBitExactly)
+{
+    for (auto policy : serving::allSchedulePolicies()) {
+        for (auto dispatch : cluster::allDispatchPolicies()) {
+            for (std::uint64_t seed : {7u, 21u, 42u}) {
+                auto cfg = tinyClusterConfig(4, dispatch, policy,
+                                             500.0, seed, 24);
+                cfg.engine.chunkTokens = 16;
+                cfg.devices = cluster::heteroEdramSramFleet(
+                    4, 2048, 512, 128, 4);
+                expectThreadInvariant(
+                    cfg, "hetero/" + toString(policy) + "/" +
+                             toString(dispatch) + "/s" +
+                             std::to_string(seed));
+            }
+        }
+    }
+}
+
+TEST(ParallelSweep, ThreadCountBeyondFleetSizeClampsSafely)
+{
+    // 8 lanes over a 2-device fleet: the clamp must leave the outcome
+    // untouched, and threads = 0 (auto) must also be bit-identical.
+    auto cfg = tinyClusterConfig(2, cluster::DispatchKind::RoundRobin,
+                                 serving::SchedulePolicy::Fcfs, 200.0,
+                                 5, 16);
+    cfg.threads = 1;
+    const auto serial = cluster::ClusterEngine(cfg).run();
+    cfg.threads = 8;
+    expectClustersBitIdentical(serial,
+                               cluster::ClusterEngine(cfg).run(),
+                               "clamp/t8");
+    cfg.threads = 0;
+    expectClustersBitIdentical(serial,
+                               cluster::ClusterEngine(cfg).run(),
+                               "clamp/auto");
+}
+
+TEST(ParallelSweep, SingleDeviceFleetStaysSerial)
+{
+    // threads > 1 on a 1-device fleet clamps to the serial engine;
+    // the Scheduler equivalence must therefore survive any setting.
+    auto cfg = tinyClusterConfig(1, cluster::DispatchKind::RoundRobin,
+                                 serving::SchedulePolicy::EdfChunked,
+                                 100.0, 11, 16);
+    cfg.engine.chunkTokens = 16;
+    cfg.threads = 1;
+    const auto serial = cluster::ClusterEngine(cfg).run();
+    cfg.threads = 4;
+    expectClustersBitIdentical(serial,
+                               cluster::ClusterEngine(cfg).run(),
+                               "one-device");
+}
+
+// ---- Preempt-and-requeue across partitions ------------------------------
+
+TEST(ParallelPreempt, RequeueMergeMatchesSerialOrder)
+{
+    // Doomed decodes force cross-device requeues: the parallel
+    // engine's serialized rounds must replay them in the serial heap's
+    // (emitting device, emission order) pop order, or victims land on
+    // different devices and the reports diverge.
+    for (auto dispatch : cluster::allDispatchPolicies()) {
+        for (std::uint64_t seed : {13u, 29u, 57u}) {
+            auto cfg = tinyClusterConfig(
+                4, dispatch,
+                serving::SchedulePolicy::ContinuousBatching, 2000.0,
+                seed, 24);
+            cfg.engine.traffic.slo.tpotSec = 2e-6;
+            cfg.engine.preempt.enabled = true;
+            expectThreadInvariant(cfg,
+                                  "preempt/" + toString(dispatch) +
+                                      "/s" + std::to_string(seed));
+        }
+    }
+}
+
+TEST(ParallelPreempt, PreemptionsActuallyFireInTheSweep)
+{
+    // Guard the guard: at least one preempt cell really exercises the
+    // requeue path (otherwise RequeueMergeMatchesSerialOrder would
+    // pass vacuously).
+    auto cfg = tinyClusterConfig(
+        4, cluster::DispatchKind::JoinShortestKv,
+        serving::SchedulePolicy::ContinuousBatching, 2000.0, 13, 24);
+    cfg.engine.traffic.slo.tpotSec = 2e-6;
+    cfg.engine.preempt.enabled = true;
+    cfg.threads = 4;
+    const auto rep = cluster::ClusterEngine(cfg).run();
+    EXPECT_GT(rep.aggregate.summary.preemptions, 0u);
+    EXPECT_TRUE(rep.aggregate.drained);
+}
+
+TEST(ParallelPreempt, HeteroPreemptSweepMatchesSerial)
+{
+    auto cfg = tinyClusterConfig(
+        4, cluster::DispatchKind::JoinShortestKv,
+        serving::SchedulePolicy::ContinuousBatching, 2000.0, 13, 24);
+    cfg.devices = cluster::heteroEdramSramFleet(4, 2048, 512, 128, 4);
+    cfg.engine.traffic.slo.tpotSec = 2e-6;
+    cfg.engine.preempt.enabled = true;
+    expectThreadInvariant(cfg, "hetero-preempt");
+}
+
+// ---- Fast-forward inside windows ----------------------------------------
+
+TEST(ParallelFastForward, KvBlockedSkipPoliciesFastForwardAndMatch)
+{
+    // A cramped pool under sjf/edf (skipBlocked admission): devices go
+    // idle while KV-blocked and must fast-forward through the gap to
+    // the window horizon — the deferral-replay path the parallel
+    // engine relies on. The run must both exercise that path and stay
+    // bit-identical to serial.
+    for (auto policy : {serving::SchedulePolicy::SjfWithinDeadline,
+                        serving::SchedulePolicy::EdfChunked}) {
+        for (std::uint64_t seed : {13u, 23u}) {
+            auto cfg = tinyClusterConfig(
+                2, cluster::DispatchKind::RoundRobin, policy, 2000.0,
+                seed, 16);
+            cfg.engine.chunkTokens = 16;
+            for (auto &d : cfg.devices)
+                d.poolTokens = 96; // tight: forces deferrals
+            cfg.engine.poolTokens = 96;
+            const std::string label = "kvblock/" + toString(policy) +
+                                      "/s" + std::to_string(seed);
+            expectThreadInvariant(cfg, label);
+
+            cfg.threads = 2;
+            cluster::ClusterEngine engine(cfg);
+            const auto rep = engine.run();
+            EXPECT_TRUE(rep.aggregate.drained) << label;
+            EXPECT_GT(rep.aggregate.deferrals, 0u) << label;
+            std::uint64_t ffwd = 0;
+            for (std::size_t i = 0; i < engine.deviceCount(); ++i)
+                ffwd += engine.device(i).fastForwardedSteps();
+            EXPECT_GT(ffwd, 0u) << label;
+        }
+    }
+}
+
+TEST(ParallelFastForward, IdleGapsAreSkippedNotStepped)
+{
+    // A trickle trace on a 4-device fleet: devices sit idle between
+    // arrivals, so almost every window is a fast-forward. The cheap
+    // structural check that lookahead actually engages.
+    auto cfg = tinyClusterConfig(4, cluster::DispatchKind::RoundRobin,
+                                 serving::SchedulePolicy::Fcfs, 2.0,
+                                 3, 12);
+    cfg.threads = 1;
+    const auto serial = cluster::ClusterEngine(cfg).run();
+    cfg.threads = 4;
+    cluster::ClusterEngine engine(cfg);
+    const auto par = engine.run();
+    expectClustersBitIdentical(serial, par, "trickle");
+    std::uint64_t ffwd = 0;
+    for (std::size_t i = 0; i < engine.deviceCount(); ++i)
+        ffwd += engine.device(i).fastForwardedSteps();
+    EXPECT_GT(ffwd, 0u);
+}
+
+// ---- Event-path oracle --------------------------------------------------
+
+TEST(ParallelOracle, SlowPathAgreesUnderPreemption)
+{
+    // fastSim = false forces the step-at-a-time event loop (no
+    // fast-forward, no memoized costs). Any divergence between that
+    // oracle and the fast path — serial or threaded — means the doom
+    // bounds or the deferral replay changed the schedule.
+    auto cfg = tinyClusterConfig(
+        2, cluster::DispatchKind::JoinShortestKv,
+        serving::SchedulePolicy::ContinuousBatching, 2000.0, 13, 24);
+    cfg.engine.traffic.slo.tpotSec = 2e-6;
+    cfg.engine.preempt.enabled = true;
+
+    cfg.engine.fastSim = false;
+    cfg.threads = 1;
+    const auto oracle = cluster::ClusterEngine(cfg).run();
+    ASSERT_GT(oracle.aggregate.summary.preemptions, 0u);
+
+    cfg.engine.fastSim = true;
+    const auto fast = cluster::ClusterEngine(cfg).run();
+    expectClustersBitIdentical(oracle, fast, "oracle/serial-fast");
+    cfg.threads = 2;
+    const auto par = cluster::ClusterEngine(cfg).run();
+    expectClustersBitIdentical(oracle, par, "oracle/threaded-fast");
+}
+
+TEST(ParallelOracle, SlowPathAgreesUnderDeferralReplay)
+{
+    // Same oracle over the KV-blocked sjf cell: the relaxed
+    // fast-forward guard (reorder policies with every-candidate
+    // deferral) must reproduce the slow path's admission decisions.
+    auto cfg = tinyClusterConfig(
+        2, cluster::DispatchKind::RoundRobin,
+        serving::SchedulePolicy::SjfWithinDeadline, 2000.0, 13, 16);
+    cfg.engine.chunkTokens = 16;
+    for (auto &d : cfg.devices)
+        d.poolTokens = 96;
+    cfg.engine.poolTokens = 96;
+
+    cfg.engine.fastSim = false;
+    cfg.threads = 1;
+    const auto oracle = cluster::ClusterEngine(cfg).run();
+    ASSERT_GT(oracle.aggregate.deferrals, 0u);
+
+    cfg.engine.fastSim = true;
+    const auto fast = cluster::ClusterEngine(cfg).run();
+    expectClustersBitIdentical(oracle, fast, "defer/serial-fast");
+    cfg.threads = 2;
+    const auto par = cluster::ClusterEngine(cfg).run();
+    expectClustersBitIdentical(oracle, par, "defer/threaded-fast");
+}
+
+} // namespace
+} // namespace kelle

@@ -29,10 +29,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <random>
+#include <tuple>
 #include <vector>
 
 #include "accel/step_cost_cache.hpp"
@@ -445,6 +448,113 @@ TEST(AllocationFree, SteadyStateDecodeSteppingAllocatesNothing)
     EXPECT_FALSE(requests[0].done()); // still mid-decode: steady state
     EXPECT_EQ(allocs_after - allocs_before, 0u)
         << "steady-state stepping must not touch the heap";
+}
+
+// ---- EventQueueWindow ----------------------------------------------
+// The window primitives the parallel cluster engine leans on: the
+// empty-queue sentinel, strict-horizon draining, and clock alignment.
+
+TEST(EventQueueWindow, NextEventTimeIsInfinityWhenEmptyOrDrained)
+{
+    sim::EventQueue q;
+    EXPECT_TRUE(std::isinf(q.nextEventTime().sec()));
+    q.schedule(Time::micros(3), [] {});
+    EXPECT_DOUBLE_EQ(q.nextEventTime().us(), 3.0);
+    q.runAll();
+    // Draining restores the sentinel; it still compares greater than
+    // any finite horizon (the coordinator's min() relies on that).
+    EXPECT_TRUE(std::isinf(q.nextEventTime().sec()));
+    EXPECT_GT(q.nextEventTime(), Time::seconds(1e30));
+}
+
+TEST(EventQueueWindow, RunBeforeIsStrictAndLeavesNowAtLastExecuted)
+{
+    sim::EventQueue q;
+    int ran = 0;
+    q.schedule(Time::micros(1), [&] { ++ran; });
+    q.schedule(Time::micros(2), [&] { ++ran; });
+    q.schedule(Time::micros(3), [&] { ++ran; });
+    // Events at exactly the horizon must wait for the global events
+    // that sort before them, so only t=1 runs...
+    EXPECT_EQ(q.runBefore(Time::micros(2)), 1u);
+    EXPECT_EQ(ran, 1);
+    // ...and the clock stays at the last executed event, not the
+    // horizon, so a later global injection at t=2 is not "the past".
+    EXPECT_DOUBLE_EQ(q.now().us(), 1.0);
+    EXPECT_DOUBLE_EQ(q.nextEventTime().us(), 2.0);
+    EXPECT_EQ(q.runBefore(Time::micros(10)), 2u);
+    EXPECT_EQ(ran, 3);
+    EXPECT_DOUBLE_EQ(q.now().us(), 3.0);
+    // Empty queue: a no-op, not an advance.
+    EXPECT_EQ(q.runBefore(Time::micros(20)), 0u);
+    EXPECT_DOUBLE_EQ(q.now().us(), 3.0);
+}
+
+TEST(EventQueueWindow, AdvanceToMovesTheClockWithoutRunning)
+{
+    sim::EventQueue q;
+    int ran = 0;
+    q.schedule(Time::micros(5), [&] { ++ran; });
+    q.advanceTo(Time::micros(4));
+    EXPECT_EQ(ran, 0);
+    EXPECT_DOUBLE_EQ(q.now().us(), 4.0);
+    // The aligned clock accepts an injection at the new now (the
+    // arrival-dispatch pattern) and never re-runs anything early.
+    q.schedule(Time::micros(4), [&] { ++ran; });
+    q.runAll();
+    EXPECT_EQ(ran, 2);
+    // Backwards alignment is a no-op, not a rewind.
+    q.advanceTo(Time::micros(1));
+    EXPECT_DOUBLE_EQ(q.now().us(), 5.0);
+}
+
+TEST(EventQueueWindow, AdvanceToPastPendingEventPanics)
+{
+    sim::EventQueue q;
+    q.schedule(Time::micros(2), [] {});
+    EXPECT_DEATH(q.advanceTo(Time::micros(3)), "pending");
+}
+
+TEST(EventQueueWindow, InfiniteExternalEventHookUnboundsFastForward)
+{
+    // The no-arrival case of Hooks::nextExternalEvent: a hook
+    // returning +inf promises nothing external can ever affect the
+    // engine, so the decode fast-forward replays every remaining
+    // boundary in one window — and the run must still match the
+    // unhooked (conservative global bound) run bit-for-bit.
+    auto run = [](bool with_hook, std::uint64_t *ffwd) {
+        sim::EventQueue queue;
+        std::vector<serving::Request> requests;
+        serving::Request r;
+        r.id = 0;
+        r.task = sim::scaledForTiny(sim::lambada(), 96);
+        r.arrival = Time::seconds(0);
+        requests.push_back(r);
+        serving::DeviceConfig cfg;
+        cfg.poolTokens = 512;
+        serving::DeviceEngine engine(cfg, queue, requests);
+        if (with_hook) {
+            serving::DeviceEngine::Hooks hooks;
+            hooks.nextExternalEvent = [] {
+                return Time::seconds(
+                    std::numeric_limits<double>::infinity());
+            };
+            engine.setHooks(std::move(hooks));
+        }
+        engine.enqueue(0);
+        queue.runAll();
+        EXPECT_TRUE(requests[0].done());
+        if (ffwd)
+            *ffwd = engine.fastForwardedSteps();
+        return std::tuple{engine.engineSteps(), engine.decodeSteps(),
+                          queue.now().sec(),
+                          requests[0].completed.sec()};
+    };
+    std::uint64_t ffwd = 0;
+    const auto hooked = run(true, &ffwd);
+    const auto plain = run(false, nullptr);
+    EXPECT_EQ(hooked, plain);
+    EXPECT_GT(ffwd, 0u);
 }
 
 } // namespace
