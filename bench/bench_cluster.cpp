@@ -29,6 +29,8 @@
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace kelle;
 
@@ -165,6 +167,18 @@ main(int argc, char **argv)
                  "preemption studies");
     args.addBool("sweep", true,
                  "run the devices x dispatch x fleet sweep");
+    args.addBool("fastsim", true,
+                 "fast-forward silent decode windows (off replays "
+                 "every boundary as an event; output is identical)");
+    args.addString("trace-out", "",
+                   "write the first headline cell's request-lifecycle "
+                   "trace as Chrome trace-event JSON (Perfetto)");
+    args.addString("metrics-out", "",
+                   "dump the first headline cell's metrics registry "
+                   "(.csv = sampled time series, else JSON)");
+    args.addDouble("metrics-interval", 60.0,
+                   "time-series sampling interval for --metrics-out "
+                   "CSV, sim seconds");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -204,6 +218,7 @@ main(int argc, char **argv)
     base.engine.chunkSlackFrac = args.getDouble("chunk-slack");
     base.engine.preempt.enabled = args.getBool("preempt");
     base.engine.maxEngineSteps = args.getSize("steps");
+    base.engine.fastSim = args.getBool("fastsim");
     base.threads = args.getSize("threads");
 
     const std::size_t n_devices = args.getSize("devices");
@@ -225,9 +240,20 @@ main(int argc, char **argv)
         std::to_string(base.engine.traffic.seed));
 
     // ---- Headline: the configured fleet under every dispatch ------
+    // The trace recorder rides on the first dispatch cell only: each
+    // cell runs on its own parallelFor lane, so exactly one lane ever
+    // touches the recorder and the trace bytes stay a pure function of
+    // that cell's config.
+    const std::string trace_out = args.getString("trace-out");
+    const std::string metrics_out = args.getString("metrics-out");
+    obs::TraceRecorder recorder;
+    const bool record = !trace_out.empty() || !metrics_out.empty();
     std::vector<cluster::ClusterReport> runs(dispatches.size());
     common::parallelFor(dispatches.size(), [&](std::size_t i) {
-        runs[i] = runCell(base, dispatches[i]);
+        cluster::ClusterConfig cfg = base;
+        if (i == 0 && record)
+            cfg.engine.trace = &recorder;
+        runs[i] = runCell(cfg, dispatches[i]);
     });
     Table headline(kClusterHeader);
     for (std::size_t i = 0; i < dispatches.size(); ++i)
@@ -238,24 +264,50 @@ main(int argc, char **argv)
                    "; aggregate percentiles over the union of "
                    "completed requests");
 
-    // Per-device breakdown of the first dispatch policy's run.
+    // Per-device breakdown of the first dispatch policy's run. The
+    // busy-fraction column and the caption's imbalance CV are read
+    // back out of the metrics registry the same roll-up feeds, so the
+    // printed figures and a --metrics-out dump cannot diverge.
+    obs::MetricsRegistry fleet_metrics;
+    cluster::exportClusterMetrics(runs.front(), fleet_metrics);
     {
         Table breakdown({"device", "dispatched", "done", "TTFT p95",
-                         "busy", "KV peak", "pool tok", "refresh"});
+                         "busy", "busy frac", "KV peak", "pool tok",
+                         "refresh"});
         for (const auto &d : runs.front().devices) {
+            const std::string key =
+                (d.name.empty() ? "device" : d.name) + ".busy_frac";
             breakdown.addRow(
                 {d.name, std::to_string(d.dispatched),
                  std::to_string(d.report.summary.completed),
                  toString(Time::seconds(d.report.summary.ttftP95)),
                  toString(Time::seconds(d.busySec)),
+                 Table::pct(fleet_metrics.gauge(key, 0.0)),
                  Table::pct(d.kvPeakUtilization),
                  std::to_string(d.report.poolTokens),
                  toString(d.report.summary.energy.refresh)});
         }
-        breakdown.print("device breakdown under " +
-                        toString(dispatches.front()) +
-                        "; imbalance CV " +
-                        Table::num(runs.front().loadImbalanceCv, 2));
+        breakdown.print(
+            "device breakdown under " + toString(dispatches.front()) +
+            "; imbalance CV " +
+            Table::num(
+                fleet_metrics.gauge("cluster.load_imbalance_cv", 0.0),
+                2) +
+            " (busy fractions are of the cluster makespan)");
+    }
+
+    if (!trace_out.empty()) {
+        if (recorder.writeJson(trace_out))
+            std::printf("\nwrote trace: %s (%s dispatch; load at "
+                        "https://ui.perfetto.dev)\n",
+                        trace_out.c_str(),
+                        toString(dispatches.front()).c_str());
+    }
+    if (!metrics_out.empty()) {
+        fleet_metrics.ingestTrace(recorder);
+        if (fleet_metrics.writeFile(
+                metrics_out, args.getDouble("metrics-interval")))
+            std::printf("\nwrote metrics: %s\n", metrics_out.c_str());
     }
 
     // ---- Knee study: 2-device hetero fleet at the saturation knee -

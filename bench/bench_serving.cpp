@@ -27,6 +27,8 @@
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serving/scheduler.hpp"
 
 using namespace kelle;
@@ -50,6 +52,7 @@ baseConfig(const common::ArgParser &args)
     cfg.budgetOverride = args.getSize("budget");
     cfg.poolTokens = args.getSize("pool");
     cfg.maxEngineSteps = args.getSize("steps");
+    cfg.fastSim = args.getBool("fastsim");
     return cfg;
 }
 
@@ -127,6 +130,19 @@ main(int argc, char **argv)
                  "run the chunked-prefill study (PG19-heavy mix)");
     args.addBool("sweep", true,
                  "run the rate x policy x chunk x memory sweep");
+    args.addBool("fastsim", true,
+                 "fast-forward silent decode windows (off replays "
+                 "every boundary as an event; output is identical)");
+    args.addString("trace-out", "",
+                   "write the first headline policy's request-"
+                   "lifecycle trace as Chrome trace-event JSON "
+                   "(Perfetto)");
+    args.addString("metrics-out", "",
+                   "dump the first headline policy's metrics registry "
+                   "(.csv = sampled time series, else JSON)");
+    args.addDouble("metrics-interval", 60.0,
+                   "time-series sampling interval for --metrics-out "
+                   "CSV, sim seconds");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -182,9 +198,19 @@ main(int argc, char **argv)
     // --chunk-tokens applies here too. ------------------------------
     const std::size_t headline_chunk =
         args.provided("chunk-tokens") ? chunk : 0;
+    // The trace recorder rides on the first policy cell only: each
+    // cell runs on its own parallelFor lane, so exactly one lane ever
+    // touches the recorder.
+    const std::string trace_out = args.getString("trace-out");
+    const std::string metrics_out = args.getString("metrics-out");
+    obs::TraceRecorder recorder;
+    const bool record = !trace_out.empty() || !metrics_out.empty();
     std::vector<serving::ServingReport> runs(policies.size());
     common::parallelFor(policies.size(), [&](std::size_t i) {
-        runs[i] = runCell(base, policies[i], headline_chunk);
+        serving::ServingConfig cfg = base;
+        if (i == 0 && record)
+            cfg.trace = &recorder;
+        runs[i] = runCell(cfg, policies[i], headline_chunk);
     });
     Table headline(kSummaryHeader);
     for (std::size_t i = 0; i < policies.size(); ++i)
@@ -198,6 +224,29 @@ main(int argc, char **argv)
         Table::num(base.traffic.slo.ttftPerCtxTokenSec * 1e3, 0) +
         "ms/ctx-token, TPOT " +
         Table::num(base.traffic.slo.tpotSec * 1e3, 0) + "ms");
+
+    if (!trace_out.empty()) {
+        if (recorder.writeJson(trace_out))
+            std::printf("\nwrote trace: %s (%s policy; load at "
+                        "https://ui.perfetto.dev)\n",
+                        trace_out.c_str(),
+                        toString(policies.front()).c_str());
+    }
+    if (!metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        reg.setGauge("serving.completed",
+                     static_cast<double>(runs.front().summary.completed));
+        reg.setGauge("serving.rejected",
+                     static_cast<double>(runs.front().summary.rejected));
+        reg.setGauge("serving.goodput_tok_per_s",
+                     runs.front().summary.goodputTokensPerSec);
+        reg.setGauge("serving.slo_attainment",
+                     runs.front().summary.sloAttainment);
+        reg.ingestTrace(recorder);
+        if (reg.writeFile(metrics_out,
+                          args.getDouble("metrics-interval")))
+            std::printf("\nwrote metrics: %s\n", metrics_out.c_str());
+    }
 
     // ---- Chunked-prefill study: PG19-heavy mix, where long decodes
     // hog the KV pool and long prompts stall the batch. -------------

@@ -44,6 +44,7 @@
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "obs/profile.hpp"
 
 using namespace kelle;
 
@@ -163,14 +164,14 @@ void
 writeJson(const std::string &path, const cluster::ClusterConfig &base,
           bool quick, const std::vector<CellResult> &cells,
           const Aggregate &fast, const Aggregate *ref,
-          const Aggregate *serial)
+          const Aggregate *serial, const obs::PhaseProfiler &prof)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    std::fprintf(f, "{\n  \"schema\": \"kelle.bench_simspeed/v2\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"kelle.bench_simspeed/v3\",\n");
     std::fprintf(f,
                  "  \"config\": {\"devices\": %zu, \"hetero\": true, "
                  "\"threads\": %zu, \"hardware_threads\": %zu, "
@@ -235,6 +236,22 @@ writeJson(const std::string &path, const cluster::ClusterConfig &base,
                 ? serial->wallSec / fast.wallSec
                 : 0.0);
     }
+    std::fprintf(f, ",\n  \"phases\": {");
+    bool first_phase = true;
+    for (std::size_t p = 0; p < obs::PhaseProfiler::kPhases; ++p) {
+        const auto ph = static_cast<obs::PhaseProfiler::Phase>(p);
+        if (prof.count(ph) == 0)
+            continue;
+        std::fprintf(f,
+                     "%s\n    \"%s\": {\"wall_sec\": %.6f, "
+                     "\"count\": %llu}",
+                     first_phase ? "" : ",",
+                     obs::PhaseProfiler::phaseName(ph),
+                     prof.seconds(ph),
+                     static_cast<unsigned long long>(prof.count(ph)));
+        first_phase = false;
+    }
+    std::fprintf(f, "\n  }");
     std::fprintf(f, ",\n  \"peak_rss_bytes\": %.0f\n}\n",
                  peakRssBytes());
     std::fclose(f);
@@ -310,6 +327,12 @@ main(int argc, char **argv)
         std::to_string(base.threads) + " worker lane(s), seed " +
         std::to_string(base.engine.traffic.seed));
 
+    // Self-profile the fast sweep only: the serial and reference
+    // sweeps below run with the profiler detached so the phase table
+    // attributes every second to the configuration being reported.
+    obs::PhaseProfiler prof;
+    base.engine.profiler = &prof;
+
     const auto dispatches = cluster::allDispatchPolicies();
     std::vector<CellResult> cells;
     Aggregate fast;
@@ -345,11 +368,33 @@ main(int argc, char **argv)
         Table::pct(fast.cache.hitRate()) + ", fast-forwarded " +
         Table::pct(fast.fastForwardShare()) + " of boundaries");
 
+    {
+        Table pt({"phase", "wall", "count", "share"});
+        const double total = prof.totalSeconds();
+        for (std::size_t p = 0; p < obs::PhaseProfiler::kPhases;
+             ++p) {
+            const auto ph =
+                static_cast<obs::PhaseProfiler::Phase>(p);
+            if (prof.count(ph) == 0)
+                continue;
+            pt.addRow({obs::PhaseProfiler::phaseName(ph),
+                       Table::num(prof.seconds(ph), 3) + " s",
+                       std::to_string(prof.count(ph)),
+                       Table::pct(total > 0.0
+                                      ? prof.seconds(ph) / total
+                                      : 0.0)});
+        }
+        pt.print("engine self-profile of the fast sweep; "
+                 "fast_forward counts replayed boundaries, window "
+                 "time sums across worker lanes");
+    }
+
     Aggregate serial;
     const bool with_scaling = base.threads != 1;
     if (with_scaling) {
         cluster::ClusterConfig one = base;
         one.threads = 1;
+        one.engine.profiler = nullptr;
         bench::banner("Thread scaling: the same sweep on the serial "
                       "shared-heap engine");
         Table st({"dispatch", "wall", "steps/s"});
@@ -373,6 +418,7 @@ main(int argc, char **argv)
     if (with_ref) {
         cluster::ClusterConfig slow = base;
         slow.engine.fastSim = false;
+        slow.engine.profiler = nullptr;
         bench::banner("Reference: fast path off (uncached "
                       "step-at-a-time core)");
         Table rt({"dispatch", "wall", "steps/s"});
@@ -393,6 +439,6 @@ main(int argc, char **argv)
 
     writeJson(args.getString("json"), base, args.getBool("quick"),
               cells, fast, with_ref ? &ref : nullptr,
-              with_scaling ? &serial : nullptr);
+              with_scaling ? &serial : nullptr, prof);
     return 0;
 }

@@ -25,6 +25,7 @@
 #include "common/arg_parser.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 #include "serving/scheduler.hpp"
 
 using namespace kelle;
@@ -100,6 +101,10 @@ main(int argc, char **argv)
                  "alternate eDRAM/SRAM devices (clusters only)");
     args.addBool("preempt", false,
                  "reclaim KV grants of deadline-doomed decodes");
+    args.addString("trace-out", "",
+                   "also record the session as Chrome trace-event "
+                   "JSON (open in https://ui.perfetto.dev; see "
+                   "docs/TRACING.md)");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -135,6 +140,14 @@ main(int argc, char **argv)
     cfg.verbose = true;
     setLogLevel(LogLevel::Verbose); // lifecycle lines use inform()
 
+    // One recorder serves both paths: the single-device Scheduler and
+    // the cluster engine thread it to their devices identically. The
+    // narrated stdout is byte-identical with or without it.
+    const std::string trace_out = args.getString("trace-out");
+    obs::TraceRecorder recorder;
+    if (!trace_out.empty())
+        cfg.trace = &recorder;
+
     const std::size_t devices = args.getSize("devices");
     if (devices <= 1) {
         std::printf("edge_server: %zu requests at %.3f req/s (bursty), "
@@ -144,6 +157,10 @@ main(int argc, char **argv)
 
         serving::Scheduler engine(cfg);
         printSummary(engine.run());
+        if (!trace_out.empty() && recorder.writeJson(trace_out))
+            std::printf("\nwrote trace: %s (load at "
+                        "https://ui.perfetto.dev)\n",
+                        trace_out.c_str());
         return 0;
     }
 
@@ -184,5 +201,9 @@ main(int argc, char **argv)
     per_dev.print("per-device breakdown; load imbalance CV " +
                   Table::num(rep.loadImbalanceCv, 2));
     printSummary(rep.aggregate);
+    if (!trace_out.empty() && recorder.writeJson(trace_out))
+        std::printf("\nwrote trace: %s (load at "
+                    "https://ui.perfetto.dev)\n",
+                    trace_out.c_str());
     return 0;
 }

@@ -68,6 +68,8 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
 {
     KELLE_ASSERT(!cfg_.devices.empty(),
                  "a cluster needs at least one device");
+    if (cfg_.engine.trace != nullptr)
+        clusterTrack_ = cfg_.engine.trace->requestsTrack();
     threads_ =
         cfg_.threads ? cfg_.threads : common::defaultParallelism();
     threads_ = std::min(threads_, cfg_.devices.size());
@@ -101,6 +103,9 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
                      : queue_;
         devices_.push_back(std::make_unique<serving::DeviceEngine>(
             d, q, requests_));
+        if (cfg_.engine.trace != nullptr)
+            devices_.back()->setTrace(cfg_.engine.trace->addDeviceTrack(
+                spec.name.empty() ? "device" : spec.name));
 
         serving::DeviceEngine::Hooks hooks;
         if (parallel) {
@@ -226,13 +231,18 @@ ClusterEngine::pickDevice(std::size_t idx)
 void
 ClusterEngine::dispatchArrival(std::size_t idx)
 {
-    devices_[pickDevice(idx)]->enqueue(idx);
+    const std::size_t d = pickDevice(idx);
+    if (clusterTrack_ != nullptr)
+        clusterTrack_->dispatched(queue_.now(), requests_[idx].id, d);
+    devices_[d]->enqueue(idx);
 }
 
 void
 ClusterEngine::dispatchAt(Time t, std::size_t idx)
 {
     const std::size_t d = pickDevice(idx);
+    if (clusterTrack_ != nullptr)
+        clusterTrack_->dispatched(t, requests_[idx].id, d);
     localQueues_[d]->advanceTo(t);
     devices_[d]->enqueue(idx);
 }
@@ -252,6 +262,8 @@ ClusterEngine::runSerial()
             dispatchArrival(i);
         });
     }
+    obs::PhaseProfiler::Timer timer(
+        cfg_.engine.profiler, obs::PhaseProfiler::Phase::SerialDrive);
     queue_.runAll();
 }
 
@@ -337,12 +349,17 @@ ClusterEngine::runParallel()
                     only = i;
                 }
             }
-            if (active == 1)
-                localQueues_[only]->runBefore(windowHorizon_);
-            else
-                pool.forEach(nd, [this](std::size_t i) {
-                    localQueues_[i]->runBefore(windowHorizon_);
-                });
+            {
+                obs::PhaseProfiler::Timer timer(
+                    cfg_.engine.profiler,
+                    obs::PhaseProfiler::Phase::Window);
+                if (active == 1)
+                    localQueues_[only]->runBefore(windowHorizon_);
+                else
+                    pool.forEach(nd, [this](std::size_t i) {
+                        localQueues_[i]->runBefore(windowHorizon_);
+                    });
+            }
             for (std::size_t i = 0; i < nd; ++i)
                 KELLE_ASSERT(requeueBufs_[i].empty(),
                              "a lookahead window emitted a requeue");
@@ -358,6 +375,9 @@ ClusterEngine::runParallel()
         // round; with it off, a boundary may fast-forward up to the
         // next still-pending arrival exactly like the serial engine.
         const Time t0 = std::min(arrival, nextEvent);
+        obs::PhaseProfiler::Timer round_timer(
+            cfg_.engine.profiler,
+            obs::PhaseProfiler::Phase::SerialRound);
         const bool lookahead = !cfg_.engine.preempt.enabled;
         windowHorizon_ = t0;
         if (arrival == t0) {
@@ -387,7 +407,12 @@ ClusterEngine::runParallel()
 ClusterReport
 ClusterEngine::run()
 {
-    requests_ = serving::generateTrace(cfg_.engine.traffic);
+    {
+        obs::PhaseProfiler::Timer timer(
+            cfg_.engine.profiler,
+            obs::PhaseProfiler::Phase::TraceGen);
+        requests_ = serving::generateTrace(cfg_.engine.traffic);
+    }
     if (threads_ > 1)
         runParallel();
     else
@@ -407,6 +432,8 @@ ClusterEngine::run()
     devs.reserve(devices_.size());
     for (const auto &dev : devices_)
         devs.push_back(dev.get());
+    obs::PhaseProfiler::Timer timer(
+        cfg_.engine.profiler, obs::PhaseProfiler::Phase::RollUp);
     return rollUpCluster(devs, makespan);
 }
 

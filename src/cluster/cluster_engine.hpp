@@ -153,6 +153,9 @@ class ClusterEngine
     Time nextRequeueBound() const;
 
     ClusterConfig cfg_;
+    /** `cfg_.engine.trace`'s requests track (dispatch instants);
+     *  null when tracing is off. */
+    obs::TraceTrack *clusterTrack_ = nullptr;
     sim::EventQueue queue_;
     std::vector<serving::Request> requests_;
     std::unique_ptr<DispatchPolicy> dispatch_;

@@ -70,5 +70,39 @@ rollUpCluster(const std::vector<const serving::DeviceEngine *> &devices,
     return out;
 }
 
+void
+exportClusterMetrics(const ClusterReport &rep,
+                     obs::MetricsRegistry &reg)
+{
+    const serving::ServingSummary &sum = rep.aggregate.summary;
+    reg.setGauge("cluster.completed",
+                 static_cast<double>(sum.completed));
+    reg.setGauge("cluster.rejected",
+                 static_cast<double>(sum.rejected));
+    reg.setGauge("cluster.goodput_tok_per_s",
+                 sum.goodputTokensPerSec);
+    reg.setGauge("cluster.slo_attainment", sum.sloAttainment);
+    reg.setGauge("cluster.preemptions",
+                 static_cast<double>(sum.preemptions));
+    reg.setGauge("cluster.load_imbalance_cv", rep.loadImbalanceCv);
+    reg.setGauge("cluster.mean_kv_peak_utilization",
+                 rep.meanKvPeakUtilization);
+    reg.setGauge("cluster.refresh_energy_j", rep.refreshEnergyJ);
+    const double makespan = sum.makespan.sec();
+    for (const ClusterDeviceReport &d : rep.devices) {
+        const std::string prefix =
+            d.name.empty() ? "device" : d.name;
+        reg.setGauge(prefix + ".busy_sec", d.busySec);
+        reg.setGauge(prefix + ".busy_frac",
+                     makespan > 0.0 ? d.busySec / makespan : 0.0);
+        reg.setGauge(prefix + ".dispatched",
+                     static_cast<double>(d.dispatched));
+        reg.setGauge(prefix + ".completed",
+                     static_cast<double>(d.report.summary.completed));
+        reg.setGauge(prefix + ".kv_peak_utilization",
+                     d.kvPeakUtilization);
+    }
+}
+
 } // namespace cluster
 } // namespace kelle

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "serving/device_engine.hpp"
 #include "serving/scheduler.hpp"
 
@@ -65,6 +66,19 @@ double coefficientOfVariation(const std::vector<double> &xs);
 ClusterReport rollUpCluster(
     const std::vector<const serving::DeviceEngine *> &devices,
     Time makespan);
+
+/**
+ * Register the fleet roll-up's scalars in an `obs::MetricsRegistry`:
+ * `cluster.*` gauges (completed/rejected/goodput/SLO attainment/load
+ * imbalance CV/mean KV peak utilization/refresh energy/preemptions)
+ * plus per-device `<name>.busy_sec`, `<name>.busy_frac` (busy time
+ * over cluster makespan), `<name>.dispatched`, `<name>.completed` and
+ * `<name>.kv_peak_utilization`. bench_cluster prints its summary
+ * figures out of this registry so the printed numbers and the
+ * `--metrics-out` dump cannot diverge.
+ */
+void exportClusterMetrics(const ClusterReport &rep,
+                          obs::MetricsRegistry &reg);
 
 } // namespace cluster
 } // namespace kelle

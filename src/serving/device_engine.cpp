@@ -1,6 +1,7 @@
 #include "serving/device_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -48,7 +49,8 @@ DeviceEngine::DeviceEngine(const DeviceConfig &cfg,
       queue_(queue), requests_(requests),
       allocator_(makeAllocatorConfig(cfg)),
       policy_(makePolicy(cfg.policy)),
-      costCache_(cfg_.system, cfg_.model)
+      costCache_(cfg_.system, cfg_.model),
+      profiler_(cfg.profiler)
 {
     const std::string err = cfg_.model.validate();
     KELLE_ASSERT(err.empty(), "bad model config: ", err);
@@ -96,6 +98,14 @@ DeviceEngine::enqueue(std::size_t idx)
     if (requests_[idx].preemptions > 0)
         ++waitingPreempted_;
     metrics_.sampleQueueDepth(waiting_.size());
+    if (trace_ != nullptr) {
+        const Request &r = requests_[idx];
+        if (r.preemptions == 0)
+            trace_->requestArrived(queue_.now(), r.id, r.task.name);
+        else
+            trace_->requestRequeued(queue_.now(), r.id);
+        trace_->queueDepth(queue_.now(), waiting_.size());
+    }
     if (cfg_.verbose) {
         const Request &r = requests_[idx];
         if (r.preemptions == 0)
@@ -179,6 +189,10 @@ DeviceEngine::preemptDoomed()
         r.budgetGranted = 0;
         r.kvBytesReserved = 0.0;
         metrics_.onPreempted();
+        if (trace_ != nullptr) {
+            trace_->preempted(queue_.now(), r.id);
+            trace_->kvInUse(queue_.now(), allocator_.inUseBytes());
+        }
         if (cfg_.verbose)
             inform("t=", toString(queue_.now()), label_, " request #",
                    r.id, " preempted (TPOT already unattainable), KV "
@@ -193,6 +207,10 @@ DeviceEngine::preemptDoomed()
             waiting_.push_back(idx);
             ++waitingPreempted_; // r.preemptions was just incremented
             metrics_.sampleQueueDepth(waiting_.size());
+            if (trace_ != nullptr) {
+                trace_->requestRequeued(queue_.now(), r.id);
+                trace_->queueDepth(queue_.now(), waiting_.size());
+            }
         }
     }
 }
@@ -203,6 +221,8 @@ DeviceEngine::rejectRequest(std::size_t idx, std::size_t floor_tokens)
     Request &r = requests_[idx];
     r.state = RequestState::Rejected;
     metrics_.onRejected(r);
+    if (trace_ != nullptr)
+        trace_->rejected(queue_.now(), r.id, floor_tokens);
     if (cfg_.verbose)
         inform("t=", toString(queue_.now()), label_, " request #",
                r.id, " rejected: floor ", floor_tokens,
@@ -243,7 +263,11 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
     }
     const auto grant = allocator_.tryAdmit(requested, floor_tokens);
     if (!grant.admitted) {
-        deferScratch_.emplace_back(requested, floor_tokens);
+        deferScratch_.push_back(
+            DeferredAdmit{requested, floor_tokens, r.id});
+        if (trace_ != nullptr)
+            trace_->deferred(queue_.now(), r.id, requested,
+                             floor_tokens);
         return false;
     }
 
@@ -263,6 +287,12 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
     grants_[idx] = grant;
     admitted_.push_back(idx);
     metrics_.sampleQueueDepth(waiting_.size());
+    if (trace_ != nullptr) {
+        trace_->admitted(queue_.now(), r.id, grant.budgetTokens,
+                         requested);
+        trace_->queueDepth(queue_.now(), waiting_.size());
+        trace_->kvInUse(queue_.now(), allocator_.inUseBytes());
+    }
     if (cfg_.verbose)
         inform("t=", toString(queue_.now()), label_, " request #",
                r.id, " admitted, N'=", r.budgetGranted,
@@ -383,6 +413,10 @@ DeviceEngine::runPrefillChunk(const EngineStepPlan &plan)
         prefillChunkCost(r.prefilled, plan.chunkTokens);
     metrics_.addEnergy(step.energy);
     busy_ = busy_ + step.latency;
+    if (trace_ != nullptr)
+        trace_->prefillStep(queue_.now(), step.latency, r.id,
+                            plan.chunkTokens,
+                            step.energy.refresh.j());
     // In-flight state in members, `this`-only capture: the callback
     // stays inside std::function's small-object buffer (no per-step
     // heap allocation).
@@ -415,6 +449,8 @@ DeviceEngine::onPrefillDone()
         }
         running_.push_back(idx);
         ++prefills_;
+        if (trace_ != nullptr)
+            trace_->firstToken(queue_.now(), req.id);
         if (cfg_.verbose && req.preemptions == 0)
             inform("t=", toString(queue_.now()), label_, " request #",
                    req.id, " first token (TTFT ",
@@ -532,6 +568,10 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
     busy_ = busy_ + step->latency;
     inFlightBatch_.assign(plan.decodeBatch.begin(),
                           plan.decodeBatch.end());
+    if (trace_ != nullptr)
+        trace_->decodeStep(queue_.now(), step->latency,
+                           inFlightBatch_.size(),
+                           step->energy.refresh.j());
 
     // Fast-forward: while (a) no batch member completes, (b) admission
     // and preemption are provably no-ops, and (c) the boundary lands
@@ -552,6 +592,10 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
     bool replay_deferrals = false;
     std::size_t silent = silentStepBudget(&replay_deferrals);
     if (silent > 0) {
+        const auto ff0 = profiler_ != nullptr
+                             ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
+        const std::uint64_t ff_before = fastForwarded_;
         // Preemption stays armed inside the window: collect the batch
         // members the boundary scan would examine (it only runs with
         // waiting demand, and the waiting queue is frozen here) and
@@ -621,12 +665,15 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
                 // window — and each failure records the same deferral
                 // the event-driven round would.
                 for (const auto &defer : deferScratch_) {
-                    const auto grant =
-                        allocator_.tryAdmit(defer.first, defer.second);
+                    const auto grant = allocator_.tryAdmit(
+                        defer.requested, defer.floor);
                     KELLE_ASSERT(!grant.admitted,
                                  "fast-forward window admitted a "
                                  "request the event-driven round had "
                                  "deferred");
+                    if (trace_ != nullptr)
+                        trace_->deferred(t, defer.req,
+                                         defer.requested, defer.floor);
                 }
             }
             ++engineSteps_;
@@ -646,10 +693,23 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
                     step = &decodeStepCost(residentScratch_);
                 }
             }
+            // Mirror the event path's per-boundary decode slice: the
+            // step *starting* at this boundary, costed after any
+            // resident growth.
+            if (trace_ != nullptr)
+                trace_->decodeStep(t, step->latency, batch_size,
+                                   step->energy.refresh.j());
             metrics_.addEnergy(step->energy);
             busy_ = busy_ + step->latency;
             --silent;
         }
+        if (profiler_ != nullptr)
+            profiler_->add(
+                obs::PhaseProfiler::Phase::FastForward,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - ff0)
+                    .count(),
+                fastForwarded_ - ff_before);
     }
     queue_.schedule(t + step->latency, [this] { onDecodeDone(); });
 }
@@ -682,6 +742,10 @@ DeviceEngine::finishRequest(std::size_t idx)
     lastCompletion_ = std::max(lastCompletion_, r.completed);
     allocator_.release(grants_[idx]);
     metrics_.onCompleted(r);
+    if (trace_ != nullptr) {
+        trace_->completed(queue_.now(), r.id, r.generated);
+        trace_->kvInUse(queue_.now(), allocator_.inUseBytes());
+    }
     if (cfg_.verbose)
         inform("t=", toString(queue_.now()), label_, " request #",
                r.id, " completed (", r.generated, " tokens, e2e ",

@@ -59,6 +59,8 @@
 #include "accel/step_cost_cache.hpp"
 #include "accel/timing_model.hpp"
 #include "model/model_config.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "serving/engine_step.hpp"
 #include "serving/kv_budget_allocator.hpp"
 #include "serving/policy.hpp"
@@ -109,6 +111,12 @@ struct DeviceConfig
      */
     bool fastSim = true;
     bool verbose = false;
+    /**
+     * Wall-clock phase profiling (obs::PhaseProfiler): the engine adds
+     * its inline fast-forward stretches. Null (the default) skips even
+     * the clock reads; sim outputs are identical either way.
+     */
+    obs::PhaseProfiler *profiler = nullptr;
 };
 
 class DeviceEngine
@@ -144,6 +152,14 @@ class DeviceEngine
                  std::vector<Request> &requests);
 
     void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /**
+     * Attach this device's trace track (see obs/trace.hpp). Null (the
+     * default) disables tracing at the cost of one pointer test per
+     * hook — no allocation, no output perturbation. Set before the
+     * first `enqueue`; the track must outlive the engine.
+     */
+    void setTrace(obs::TraceTrack *track) { trace_ = track; }
 
     /** Hand an arrived (or requeued) request to this device. */
     void enqueue(std::size_t idx);
@@ -257,6 +273,8 @@ class DeviceEngine
     /** Bound to cfg_.system/cfg_.model (declared above it). */
     accel::StepCostCache costCache_;
     Hooks hooks_;
+    obs::TraceTrack *trace_ = nullptr; ///< null = tracing off
+    obs::PhaseProfiler *profiler_ = nullptr;
 
     std::vector<KvBudgetAllocator::Grant> grants_;
     std::deque<std::size_t> waiting_;  ///< arrived, not admitted
@@ -284,10 +302,19 @@ class DeviceEngine
     std::size_t inFlightPrefillIdx_ = 0;
     std::size_t inFlightPrefillTokens_ = 0;
     accel::StepReport stepScratch_; ///< fastSim-off cost slot
-    /** The last admission round's blocked attempts as (requested,
-     *  floor) pairs, appended by tryAdmitAt; the decode fast-forward
-     *  replays them per boundary when the round was pure deferrals. */
-    std::vector<std::pair<std::size_t, std::size_t>> deferScratch_;
+    /** One blocked admission attempt of the last round (tryAdmitAt);
+     *  the request id rides along so a fast-forward replay emits the
+     *  same defer trace events as the event-driven round. */
+    struct DeferredAdmit
+    {
+        std::size_t requested;
+        std::size_t floor;
+        std::uint64_t req;
+    };
+    /** The last admission round's blocked attempts, appended by
+     *  tryAdmitAt; the decode fast-forward replays them per boundary
+     *  when the round was pure deferrals. */
+    std::vector<DeferredAdmit> deferScratch_;
     /** (firstToken, doom delta) per preemption-eligible batch member;
      *  the fast-forward stops before any boundary where the event
      *  path's preemption scan would fire. */

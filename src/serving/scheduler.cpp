@@ -42,6 +42,7 @@ deviceConfigFrom(const ServingConfig &cfg)
     d.maxEngineSteps = cfg.maxEngineSteps;
     d.fastSim = cfg.fastSim;
     d.verbose = cfg.verbose;
+    d.profiler = cfg.profiler;
     return d;
 }
 
@@ -60,6 +61,8 @@ Scheduler::Scheduler(const ServingConfig &cfg) : cfg_(cfg)
                         [this, idx] { device_->enqueue(idx); });
     };
     device_->setHooks(std::move(hooks));
+    if (cfg_.trace != nullptr)
+        device_->setTrace(cfg_.trace->addDeviceTrack("device"));
 }
 
 const ServingMetrics &
@@ -89,7 +92,11 @@ deviceReport(const DeviceEngine &dev, Time makespan)
 ServingReport
 Scheduler::run()
 {
-    requests_ = generateTrace(cfg_.traffic);
+    {
+        obs::PhaseProfiler::Timer timer(
+            cfg_.profiler, obs::PhaseProfiler::Phase::TraceGen);
+        requests_ = generateTrace(cfg_.traffic);
+    }
     // All arrivals sit in the queue up front; one in-flight step and
     // the occasional requeue ride on top.
     queue_.reserve(requests_.size() + 8);
@@ -97,7 +104,11 @@ Scheduler::run()
         queue_.schedule(requests_[i].arrival,
                         [this, i] { device_->enqueue(i); });
     }
-    queue_.runAll();
+    {
+        obs::PhaseProfiler::Timer timer(
+            cfg_.profiler, obs::PhaseProfiler::Phase::SerialDrive);
+        queue_.runAll();
+    }
 
     // Makespan is first arrival to last completion; the idle lead-in
     // before the first arrival is not serving time.

@@ -88,6 +88,16 @@ struct ServingConfig
     bool fastSim = true;
     /** inform() per-request lifecycle lines (examples/edge_server). */
     bool verbose = false;
+    /**
+     * Deterministic request-lifecycle tracing (obs/trace.hpp): the
+     * owner registers one track per device and emits every lifecycle
+     * event into it, stamped with sim time. Null (the default)
+     * disables tracing with zero cost and zero output perturbation.
+     * Use one recorder per run; it must outlive the engine.
+     */
+    obs::TraceRecorder *trace = nullptr;
+    /** Wall-clock phase profiling (obs/profile.hpp); null = off. */
+    obs::PhaseProfiler *profiler = nullptr;
 };
 
 /** The per-device slice of a ServingConfig, for the executor. */

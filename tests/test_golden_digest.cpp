@@ -103,7 +103,7 @@ TEST(GoldenDigest, BenchClusterSmallHeteroConfig)
     expectDigest("bench/bench_cluster",
                  "--devices 2 --hetero --requests 12 --sweep 0 "
                  "--study 0",
-                 0x0437f79af8453695ull);
+                 0x1bf07f53c96d1bb8ull);
 }
 
 TEST(GoldenDigest, BenchClusterThreadedMatchesSerialDigest)
@@ -115,7 +115,7 @@ TEST(GoldenDigest, BenchClusterThreadedMatchesSerialDigest)
     expectDigest("bench/bench_cluster",
                  "--devices 2 --hetero --requests 12 --sweep 0 "
                  "--study 0 --threads 4",
-                 0x0437f79af8453695ull);
+                 0x1bf07f53c96d1bb8ull);
 }
 
 TEST(GoldenDigest, BenchClusterThreadedPreemptMatchesSerialDigest)
@@ -127,16 +127,64 @@ TEST(GoldenDigest, BenchClusterThreadedPreemptMatchesSerialDigest)
     expectDigest("bench/bench_cluster",
                  "--devices 2 --hetero --requests 12 --sweep 0 "
                  "--study 0 --preempt --rate 0.08",
-                 0x5ae60e7db71c5026ull);
+                 0x3f3f11f1704caf8cull);
     expectDigest("bench/bench_cluster",
                  "--devices 2 --hetero --requests 12 --sweep 0 "
                  "--study 0 --preempt --rate 0.08 --threads 4",
-                 0x5ae60e7db71c5026ull);
+                 0x3f3f11f1704caf8cull);
 }
 
 TEST(GoldenDigest, EdgeServerDefaultSession)
 {
     expectDigest("examples/edge_server", "", 0x9852bb7d3bac4ca7ull);
+}
+
+/** Read a whole file (empty string when unreadable). */
+std::string
+slurp(const std::string &path)
+{
+    std::string out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+TEST(GoldenDigest, BenchClusterTraceFile)
+{
+    // The exported Perfetto trace is pinned exactly like the text
+    // output: any byte drift in the event stream — an extra event, a
+    // reordered track, a timestamp or formatting change — fails here.
+    // The threaded run must produce the *same* trace file.
+    const std::string path = std::string(KELLE_BIN_DIR) +
+                             "/bench/bench_cluster";
+    if (!fileExists(path))
+        GTEST_SKIP() << path << " not built";
+    const std::string flags = "--devices 2 --hetero --requests 12 "
+                              "--sweep 0 --study 0";
+    const std::uint64_t want = 0xc881545f5a9a4130ull;
+    for (const std::string threads : {" --threads 1", " --threads 4"}) {
+        const std::string trace =
+            std::string(::testing::TempDir()) + "/kelle_trace.json";
+        std::remove(trace.c_str());
+        int exit_code = 0;
+        const std::string out = capture(
+            path + " " + flags + threads + " --trace-out " + trace,
+            &exit_code);
+        ASSERT_EQ(exit_code, 0) << out;
+        const std::string bytes = slurp(trace);
+        ASSERT_FALSE(bytes.empty()) << "no trace written to " << trace;
+        EXPECT_EQ(fnv1a64(bytes), want)
+            << "trace bytes drifted (threads flag:" << threads
+            << "). If the change is deliberate, re-record from this "
+               "command's --trace-out file.";
+        std::remove(trace.c_str());
+    }
 }
 
 } // namespace
