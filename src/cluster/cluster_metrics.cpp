@@ -57,6 +57,24 @@ rollUpCluster(const std::vector<const serving::DeviceEngine *> &devices,
         agg.poolPeakBytes += d.report.poolPeakBytes;
         agg.shrunkGrants += d.report.shrunkGrants;
         agg.deferrals += d.report.deferrals;
+        agg.peakLogicalTokens += d.report.peakLogicalTokens;
+        if (d.report.paged.enabled) {
+            agg.paged.enabled = true;
+            agg.paged.totalPages += d.report.paged.totalPages;
+            agg.paged.blockTokens = d.report.paged.blockTokens;
+            agg.paged.peakUsedPages += d.report.paged.peakUsedPages;
+            agg.paged.peakSharedPages +=
+                d.report.paged.peakSharedPages;
+            agg.paged.prefixHitTokens +=
+                d.report.paged.prefixHitTokens;
+            agg.paged.cowCopies += d.report.paged.cowCopies;
+            agg.paged.cachedReclaims +=
+                d.report.paged.cachedReclaims;
+            agg.paged.tailReclaims += d.report.paged.tailReclaims;
+            agg.paged.reclaimedPages +=
+                d.report.paged.reclaimedPages;
+            agg.paged.budgetClips += d.report.paged.budgetClips;
+        }
         agg.drained = agg.drained && d.report.drained;
         out.meanKvPeakUtilization += d.kvPeakUtilization;
         out.devices.push_back(std::move(d));
@@ -88,6 +106,30 @@ exportClusterMetrics(const ClusterReport &rep,
     reg.setGauge("cluster.mean_kv_peak_utilization",
                  rep.meanKvPeakUtilization);
     reg.setGauge("cluster.refresh_energy_j", rep.refreshEnergyJ);
+    reg.setGauge("cluster.kv_peak_logical_tokens",
+                 static_cast<double>(
+                     rep.aggregate.peakLogicalTokens));
+    if (rep.aggregate.paged.enabled) {
+        const serving::PagedPoolStats &p = rep.aggregate.paged;
+        reg.setGauge("cluster.kv_pages_total",
+                     static_cast<double>(p.totalPages));
+        reg.setGauge("cluster.kv_pages_peak_used",
+                     static_cast<double>(p.peakUsedPages));
+        reg.setGauge("cluster.kv_pages_peak_shared",
+                     static_cast<double>(p.peakSharedPages));
+        reg.setGauge("cluster.kv_prefix_hit_tokens",
+                     static_cast<double>(p.prefixHitTokens));
+        reg.setGauge("cluster.kv_cow_copies",
+                     static_cast<double>(p.cowCopies));
+        reg.setGauge("cluster.kv_cached_reclaims",
+                     static_cast<double>(p.cachedReclaims));
+        reg.setGauge("cluster.kv_tail_reclaims",
+                     static_cast<double>(p.tailReclaims));
+        reg.setGauge("cluster.kv_reclaimed_pages",
+                     static_cast<double>(p.reclaimedPages));
+        reg.setGauge("cluster.kv_budget_clips",
+                     static_cast<double>(p.budgetClips));
+    }
     const double makespan = sum.makespan.sec();
     for (const ClusterDeviceReport &d : rep.devices) {
         const std::string prefix =

@@ -97,6 +97,11 @@ MetricsRegistry::ingestTrace(const TraceRecorder &rec)
         TimeSeries &depth = series(dev + ".queue_depth");
         TimeSeries &batch = series(dev + ".batch");
         TimeSeries &refresh = series(dev + ".refresh_j");
+        // Paged-pool series materialize only when the trace carries
+        // paged counters, keeping contiguous-mode exports unchanged.
+        TimeSeries *pagesFree = nullptr;
+        TimeSeries *pagesShared = nullptr;
+        TimeSeries *prefixHits = nullptr;
         double refresh_j = 0.0;
         for (const TraceEvent &e : track->events()) {
             const double t = e.tsUs / 1e6;
@@ -130,6 +135,22 @@ MetricsRegistry::ingestTrace(const TraceRecorder &rec)
                 refresh_j += e.v1;
                 refresh.push(t, refresh_j);
                 batch.push(t, e.v0);
+                break;
+              case TraceEventKind::KvPagesFree:
+                if (pagesFree == nullptr)
+                    pagesFree = &series(dev + ".kv_pages_free");
+                pagesFree->push(t, e.v0);
+                break;
+              case TraceEventKind::KvPagesShared:
+                if (pagesShared == nullptr)
+                    pagesShared = &series(dev + ".kv_pages_shared");
+                pagesShared->push(t, e.v0);
+                break;
+              case TraceEventKind::KvPrefixHits:
+                if (prefixHits == nullptr)
+                    prefixHits =
+                        &series(dev + ".kv_prefix_hit_tokens");
+                prefixHits->push(t, e.v0);
                 break;
               default:
                 break;

@@ -331,6 +331,16 @@ writeTrack(JsonWriter &w, const TraceTrack &track, int pid,
           case TraceEventKind::QueueDepth:
             writeCounter(w, "queue_depth", pid, e.tsUs, e.v0);
             break;
+          case TraceEventKind::KvPagesFree:
+            writeCounter(w, "kv_pages_free", pid, e.tsUs, e.v0);
+            break;
+          case TraceEventKind::KvPagesShared:
+            writeCounter(w, "kv_pages_shared", pid, e.tsUs, e.v0);
+            break;
+          case TraceEventKind::KvPrefixHits:
+            writeCounter(w, "kv_prefix_hit_tokens", pid, e.tsUs,
+                         e.v0);
+            break;
         }
     }
 }

@@ -67,6 +67,11 @@ enum class TraceEventKind : std::uint8_t
     Complete,    ///< request finished (span end; v0 emitted tokens)
     KvInUse,     ///< KV pool occupancy counter sample (v0 bytes)
     QueueDepth,  ///< waiting-queue depth counter sample (v0 depth)
+    /** @name Paged KV pool counters (paged mode only). @{ */
+    KvPagesFree,   ///< free-list pages counter sample (v0 pages)
+    KvPagesShared, ///< prefix-indexed pages counter sample (v0 pages)
+    KvPrefixHits,  ///< cumulative prefix-hit tokens (v0 tokens)
+    /** @} */
 };
 
 /** One recorded event; payload meaning depends on `kind`. */
@@ -166,6 +171,24 @@ class TraceTrack
     {
         push(t, TraceEventKind::QueueDepth, 0,
              static_cast<double>(depth));
+    }
+    void
+    kvPagesFree(Time t, std::size_t pages)
+    {
+        push(t, TraceEventKind::KvPagesFree, 0,
+             static_cast<double>(pages));
+    }
+    void
+    kvPagesShared(Time t, std::size_t pages)
+    {
+        push(t, TraceEventKind::KvPagesShared, 0,
+             static_cast<double>(pages));
+    }
+    void
+    kvPrefixHitTokens(Time t, std::uint64_t tokens)
+    {
+        push(t, TraceEventKind::KvPrefixHits, 0,
+             static_cast<double>(tokens));
     }
     /** @} */
 

@@ -8,6 +8,7 @@
 #include "accel/capacity.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "tensor/quant.hpp"
 
 namespace kelle {
 namespace serving {
@@ -16,6 +17,23 @@ namespace {
 
 /** Extra slack above the protected regions in the budget floor. */
 constexpr std::size_t kFloorSlackTokens = 8;
+
+/** Group size for quantized page storage (KvCacheConfig default). */
+constexpr std::size_t kPageQuantGroup = 32;
+
+/**
+ * Page quantization flows through the whole stack by overriding the
+ * system's KV precision *before* the allocator and cost cache are
+ * built: timing, energy, refresh, and capacity all see the quantized
+ * bits through the existing accel model.
+ */
+DeviceConfig
+normalizedConfig(DeviceConfig cfg)
+{
+    if (cfg.paged.enabled && cfg.paged.quantBits > 0)
+        cfg.system.kv.kvBits = cfg.paged.quantBits;
+    return cfg;
+}
 
 AllocatorConfig
 makeAllocatorConfig(const DeviceConfig &cfg)
@@ -36,6 +54,22 @@ makeAllocatorConfig(const DeviceConfig &cfg)
     KELLE_ASSERT(pool > 0, "KV pool has no room for any token");
     a.capacityBytes = static_cast<double>(pool) * a.bytesPerToken;
     a.highWatermark = cfg.highWatermark;
+    if (cfg.paged.enabled) {
+        a.pagedBlockTokens =
+            std::max<std::size_t>(1, cfg.paged.blockTokens);
+        // One page holds blockTokens x (K+V across all layers) values
+        // at the system's KV precision, with per-group scale/zero
+        // metadata when quantized — the QuantizedGroups layout.
+        const auto values_per_token = static_cast<std::size_t>(
+            cfg.model.kvBytesPerToken(16) / 2.0);
+        a.pagedBytesPerPage = tensor::quantizedStoreBytes(
+            values_per_token * a.pagedBlockTokens,
+            cfg.system.kv.kvBits, kPageQuantGroup);
+        a.pagedTotalPages = std::max<std::size_t>(
+            1, static_cast<std::size_t>(a.capacityBytes /
+                                        a.pagedBytesPerPage));
+        a.pagedSharePrefixes = cfg.paged.sharePrefixes;
+    }
     return a;
 }
 
@@ -44,10 +78,10 @@ makeAllocatorConfig(const DeviceConfig &cfg)
 DeviceEngine::DeviceEngine(const DeviceConfig &cfg,
                            sim::EventQueue &queue,
                            std::vector<Request> &requests)
-    : cfg_(cfg),
+    : cfg_(normalizedConfig(cfg)),
       label_(cfg.name.empty() ? "" : " [" + cfg.name + "]"),
       queue_(queue), requests_(requests),
-      allocator_(makeAllocatorConfig(cfg)),
+      allocator_(makeAllocatorConfig(cfg_)),
       policy_(makePolicy(cfg.policy)),
       costCache_(cfg_.system, cfg_.model),
       profiler_(cfg.profiler)
@@ -192,6 +226,7 @@ DeviceEngine::preemptDoomed()
         if (trace_ != nullptr) {
             trace_->preempted(queue_.now(), r.id);
             trace_->kvInUse(queue_.now(), allocator_.inUseBytes());
+            tracePagedCounters(queue_.now());
         }
         if (cfg_.verbose)
             inform("t=", toString(queue_.now()), label_, " request #",
@@ -213,6 +248,64 @@ DeviceEngine::preemptDoomed()
             }
         }
     }
+}
+
+void
+DeviceEngine::pagedEnsure(std::size_t idx, std::size_t tokens)
+{
+    KvBudgetAllocator::Grant &g = grants_[idx];
+    if (tokens <= g.chainCapacityTokens)
+        return;
+    if (!allocator_.growChain(g, tokens)) {
+        // Pool exhausted: the chain stopped at best-effort capacity.
+        // Clamp the logical budget N' to it — page-granular eviction
+        // pressure (the member evicts harder instead of the engine
+        // stalling) — never below the floor acquired at admission.
+        Request &r = requests_[idx];
+        if (g.chainCapacityTokens < r.budgetGranted) {
+            allocator_.shrinkBudget(g, g.chainCapacityTokens);
+            r.budgetGranted = g.chainCapacityTokens;
+        }
+    }
+}
+
+std::size_t
+DeviceEngine::reclaimRunningTails()
+{
+    if (running_.empty())
+        return 0;
+    std::vector<std::size_t> &victims = victimScratch_;
+    victims.assign(running_.begin(), running_.end());
+    // Youngest grants donate their idle tail pages first: the oldest
+    // running requests keep their headroom, mirroring AERP's
+    // protect-the-established bias.
+    std::sort(victims.begin(), victims.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return requests_[a].id > requests_[b].id;
+              });
+    std::size_t freed = 0;
+    for (std::size_t idx : victims) {
+        Request &r = requests_[idx];
+        const std::size_t keep =
+            std::max(minBudget(r.task), r.residentTokens());
+        if (keep < r.budgetGranted) {
+            allocator_.shrinkBudget(grants_[idx], keep);
+            r.budgetGranted = keep;
+        }
+        freed += allocator_.shrinkChainTo(grants_[idx], keep);
+    }
+    return freed;
+}
+
+void
+DeviceEngine::tracePagedCounters(Time t)
+{
+    if (trace_ == nullptr || !allocator_.paged())
+        return;
+    const kv::KvPagePool *pool = allocator_.pagePool();
+    trace_->kvPagesFree(t, pool->freePages());
+    trace_->kvPagesShared(t, pool->sharedPages());
+    trace_->kvPrefixHitTokens(t, pool->prefixHitTokens());
 }
 
 void
@@ -261,7 +354,17 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
         erase_at(pos, idx);
         return true;
     }
-    const auto grant = allocator_.tryAdmit(requested, floor_tokens);
+    if (allocator_.paged() &&
+        allocator_.availableTokens() < floor_tokens) {
+        // Page-granular admission pressure: before deferring, harvest
+        // whole idle tail pages from running grants (their budgets
+        // shrink to what they actually hold — eviction pressure at
+        // page granularity instead of preempting the whole victim).
+        reclaimRunningTails();
+    }
+    const auto grant = allocator_.tryAdmit(
+        requested, floor_tokens, r.prefixKey,
+        std::min(r.prefixLen, r.task.ctxLen));
     if (!grant.admitted) {
         deferScratch_.push_back(
             DeferredAdmit{requested, floor_tokens, r.id});
@@ -284,6 +387,13 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
     r.budgetRequested = requested;
     r.budgetGranted = grant.budgetTokens;
     r.kvBytesReserved = grant.bytes;
+    if (grant.prefixHitTokens > 0 && r.task.ctxLen > 1) {
+        // Shared prefix pages already hold these tokens' KV: prefill
+        // resumes past them (capped so at least one prompt token runs
+        // — the request still needs its first-token pass).
+        r.prefilled =
+            std::min(grant.prefixHitTokens, r.task.ctxLen - 1);
+    }
     grants_[idx] = grant;
     admitted_.push_back(idx);
     metrics_.sampleQueueDepth(waiting_.size());
@@ -292,6 +402,7 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
                          requested);
         trace_->queueDepth(queue_.now(), waiting_.size());
         trace_->kvInUse(queue_.now(), allocator_.inUseBytes());
+        tracePagedCounters(queue_.now());
     }
     if (cfg_.verbose)
         inform("t=", toString(queue_.now()), label_, " request #",
@@ -409,6 +520,9 @@ DeviceEngine::runPrefillChunk(const EngineStepPlan &plan)
     KELLE_ASSERT(plan.chunkTokens > 0 &&
                      plan.chunkTokens <= r.remainingPrompt(),
                  "policy planned an invalid prefill chunk");
+    if (allocator_.paged())
+        pagedEnsure(idx, std::min(r.prefilled + plan.chunkTokens,
+                                  r.budgetGranted));
     const accel::StepReport &step =
         prefillChunkCost(r.prefilled, plan.chunkTokens);
     metrics_.addEnergy(step.energy);
@@ -431,6 +545,10 @@ DeviceEngine::onPrefillDone()
     const std::size_t idx = inFlightPrefillIdx_;
     Request &req = requests_[idx];
     req.prefilled += inFlightPrefillTokens_;
+    if (allocator_.paged() && req.prefixKey != 0)
+        allocator_.publishPrefix(
+            grants_[idx], req.prefixKey,
+            std::min(req.prefilled, req.prefixLen));
     if (req.prefillDone()) {
         admitted_.erase(
             std::find(admitted_.begin(), admitted_.end(), idx));
@@ -489,7 +607,11 @@ DeviceEngine::silentStepBudget(bool *replay_deferrals) const
         // first boundary whose preemption scan would fire.
         if (admitted_.size() + running_.size() <
             policy_->admissionCap(cfg_.maxBatch)) {
-            if (!lastRoundAllDeferred_)
+            // Paged mode mutates pool state *inside* windows (lazy
+            // chain growth), so a deferral round is not replayable
+            // from frozen state — the KV-blocked case falls back to
+            // the event-driven path.
+            if (!lastRoundAllDeferred_ || allocator_.paged())
                 return 0;
             *replay_deferrals = true;
         }
@@ -560,6 +682,14 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
 {
     engineBusy_ = true;
     ++decodeSteps_;
+    const bool paged = allocator_.paged();
+    if (paged) {
+        // Lazy chain growth: each member's pages catch up with its
+        // resident tokens before the step is costed; failed growth
+        // clamps the member's budget (and thus its resident clamp).
+        for (std::size_t idx : plan.decodeBatch)
+            pagedEnsure(idx, requests_[idx].residentTokens());
+    }
     residentScratch_.clear();
     for (std::size_t idx : plan.decodeBatch)
         residentScratch_.push_back(requests_[idx].residentTokens());
@@ -679,7 +809,34 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
             ++engineSteps_;
             ++decodeSteps_;
             ++fastForwarded_;
-            if (growth > 0) {
+            if (paged) {
+                // Mirror the event path: grow each member's chain to
+                // its new resident count, then re-cost. Budget clamps
+                // from failed growth can change any member's clamp,
+                // so the resident vector is rebuilt per boundary; the
+                // (batch, total-resident) cost key stays exact, so an
+                // unchanged total skips the lookup.
+                for (std::size_t idx : inFlightBatch_)
+                    pagedEnsure(idx,
+                                requests_[idx].residentTokens());
+                residentScratch_.clear();
+                std::size_t ns = 0;
+                for (std::size_t idx : inFlightBatch_) {
+                    const std::size_t n =
+                        requests_[idx].residentTokens();
+                    residentScratch_.push_back(n);
+                    ns += n;
+                }
+                if (ns != n_sum) {
+                    n_sum = ns;
+                    const accel::StepReport *hit =
+                        costCache_.findBatchedDecode(batch_size,
+                                                     n_sum);
+                    step = hit != nullptr
+                               ? hit
+                               : &decodeStepCost(residentScratch_);
+                }
+            } else if (growth > 0) {
                 n_sum += growth;
                 const accel::StepReport *hit =
                     costCache_.findBatchedDecode(batch_size, n_sum);
@@ -745,6 +902,7 @@ DeviceEngine::finishRequest(std::size_t idx)
     if (trace_ != nullptr) {
         trace_->completed(queue_.now(), r.id, r.generated);
         trace_->kvInUse(queue_.now(), allocator_.inUseBytes());
+        tracePagedCounters(queue_.now());
     }
     if (cfg_.verbose)
         inform("t=", toString(queue_.now()), label_, " request #",

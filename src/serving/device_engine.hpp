@@ -85,6 +85,28 @@ struct PreemptConfig
     double doomFactor = 1.0;
 };
 
+/**
+ * Paged KV pool mode (ISSUE 8). Off keeps the legacy contiguous
+ * per-request reservations bit-identically. On, the device's KV pool
+ * becomes a kv::KvPagePool of `blockTokens`-token pages: admission
+ * reserves only the protected floor, budgets grow lazily page by
+ * page, idle tail pages are reclaimed under admission pressure, and
+ * requests carrying a prefix key share published prefix pages
+ * copy-free (their prefill skips the covered tokens — cheaper TTFT).
+ */
+struct PagedKvConfig
+{
+    bool enabled = false;
+    std::size_t blockTokens = 64;
+    /**
+     * Stored bits per KV value for pages (0 keeps system.kv.kvBits).
+     * Applied to the whole timing/energy/capacity stack, so INT8/INT4
+     * pages cost fewer pool bytes and less refresh energy.
+     */
+    int quantBits = 0;
+    bool sharePrefixes = true;
+};
+
 /** Everything per-accelerator about a serving engine. */
 struct DeviceConfig
 {
@@ -101,6 +123,7 @@ struct DeviceConfig
     /** EdfChunked slack-aware alternation (see policy.hpp); 0 = off. */
     double chunkSlackFrac = 0.0;
     PreemptConfig preempt;
+    PagedKvConfig paged;
     /** Safety cap on this device's engine steps; 0 = unlimited. */
     std::uint64_t maxEngineSteps = 0;
     /**
@@ -259,6 +282,15 @@ class DeviceEngine
                                               std::size_t chunk_len);
     void finishRequest(std::size_t idx);
     void rejectRequest(std::size_t idx, std::size_t floor_tokens);
+    /** Paged mode: ensure `idx`'s chain holds `tokens`, clamping the
+     *  budget to the chain's capacity when the pool is exhausted
+     *  (never below the floor acquired at admission). */
+    void pagedEnsure(std::size_t idx, std::size_t tokens);
+    /** Paged admission pressure: reclaim whole idle tail pages from
+     *  running grants (youngest first); returns pages freed. */
+    std::size_t reclaimRunningTails();
+    /** Paged-pool counter samples next to each kvInUse emission. */
+    void tracePagedCounters(Time t);
     EngineView view() const;
     std::size_t requestedBudget(const sim::Task &task) const;
     std::size_t minBudget(const sim::Task &task) const;

@@ -17,14 +17,71 @@ KvBudgetAllocator::KvBudgetAllocator(const AllocatorConfig &cfg)
     KELLE_ASSERT(bytesPerToken_ > 0.0, "degenerate KV token size");
     KELLE_ASSERT(highWatermark_ > 0.0 && highWatermark_ <= 1.0,
                  "watermark outside (0, 1]");
+    if (cfg.pagedTotalPages > 0) {
+        kv::KvPagePoolConfig pc;
+        pc.totalPages = cfg.pagedTotalPages;
+        pc.blockTokens = cfg.pagedBlockTokens;
+        pc.bytesPerPage = cfg.pagedBytesPerPage > 0.0
+                              ? cfg.pagedBytesPerPage
+                              : static_cast<double>(
+                                    cfg.pagedBlockTokens) *
+                                    bytesPerToken_;
+        pc.sharePrefixes = cfg.pagedSharePrefixes;
+        pool_ = std::make_unique<kv::KvPagePool>(pc);
+        capacityBytes_ = static_cast<double>(pc.totalPages) *
+                         pc.bytesPerPage;
+    }
 }
 
 KvBudgetAllocator::Grant
 KvBudgetAllocator::tryAdmit(std::size_t requested_tokens,
-                            std::size_t min_tokens)
+                            std::size_t min_tokens,
+                            std::uint64_t prefix_key,
+                            std::size_t prefix_tokens)
 {
     KELLE_ASSERT(min_tokens > 0 && requested_tokens >= min_tokens,
                  "floor must be positive and <= requested budget");
+
+    if (pool_ != nullptr) {
+        // Page-granular admission: reserve only the protected floor
+        // now (attaching shared prefix pages copy-free); the rest of
+        // the budget materializes lazily through growChain.
+        const auto res =
+            pool_->acquire(min_tokens, prefix_key, prefix_tokens);
+        if (!res.ok) {
+            ++deferrals_;
+            return Grant{};
+        }
+        std::size_t tokens = requested_tokens;
+        if (requested_tokens > res.capacityTokens) {
+            // Eviction-pressure feedback, the byte formula mapped to
+            // pages: beyond the capacity already reserved, promise
+            // only what keeps the pool below the watermark.
+            const double mark_pages =
+                highWatermark_ *
+                    static_cast<double>(pool_->totalPages()) -
+                static_cast<double>(pool_->usedPages());
+            const std::size_t below_mark =
+                mark_pages > 0.0
+                    ? static_cast<std::size_t>(mark_pages) *
+                          pool_->blockTokens()
+                    : 0;
+            tokens = std::clamp(res.capacityTokens + below_mark,
+                                min_tokens, requested_tokens);
+        }
+        if (tokens < requested_tokens)
+            ++shrunkGrants_;
+        logicalTokens_ += tokens;
+        peakLogicalTokens_ =
+            std::max(peakLogicalTokens_, logicalTokens_);
+        Grant g;
+        g.admitted = true;
+        g.budgetTokens = tokens;
+        g.chainId = res.chainId;
+        g.prefixHitTokens = res.prefixHitTokens;
+        g.chainCapacityTokens = res.capacityTokens;
+        return g;
+    }
 
     const double free_bytes = capacityBytes_ - inUseBytes_;
     const double full_bytes =
@@ -53,6 +110,8 @@ KvBudgetAllocator::tryAdmit(std::size_t requested_tokens,
                  "KV pool oversubscribed");
     if (tokens < requested_tokens)
         ++shrunkGrants_;
+    logicalTokens_ += tokens;
+    peakLogicalTokens_ = std::max(peakLogicalTokens_, logicalTokens_);
 
     Grant g;
     g.admitted = true;
@@ -65,21 +124,106 @@ void
 KvBudgetAllocator::release(Grant &grant)
 {
     KELLE_ASSERT(grant.admitted, "releasing an empty grant");
+    KELLE_ASSERT(logicalTokens_ >= grant.budgetTokens,
+                 "releasing more logical tokens than are granted");
+    logicalTokens_ -= grant.budgetTokens;
+    if (pool_ != nullptr) {
+        KELLE_ASSERT(grant.chainId != kNoChain,
+                     "paged grant lost its chain");
+        pool_->release(grant.chainId);
+        grant = Grant{};
+        return;
+    }
     KELLE_ASSERT(grant.bytes <= inUseBytes_ + 1e-6,
                  "releasing more than is reserved");
     inUseBytes_ = std::max(0.0, inUseBytes_ - grant.bytes);
     grant = Grant{};
 }
 
+bool
+KvBudgetAllocator::growChain(Grant &grant, std::size_t tokens)
+{
+    KELLE_ASSERT(pool_ != nullptr && grant.admitted,
+                 "growing a non-paged or empty grant");
+    if (tokens <= grant.chainCapacityTokens)
+        return true;
+    const bool ok = pool_->grow(grant.chainId, tokens);
+    grant.chainCapacityTokens = pool_->capacityTokens(grant.chainId);
+    return ok;
+}
+
+void
+KvBudgetAllocator::shrinkBudget(Grant &grant, std::size_t tokens)
+{
+    KELLE_ASSERT(grant.admitted && tokens <= grant.budgetTokens,
+                 "budget clamp must shrink a live grant");
+    logicalTokens_ -= grant.budgetTokens - tokens;
+    grant.budgetTokens = tokens;
+    ++budgetClips_;
+}
+
+std::size_t
+KvBudgetAllocator::shrinkChainTo(Grant &grant, std::size_t tokens)
+{
+    KELLE_ASSERT(pool_ != nullptr && grant.admitted,
+                 "shrinking a non-paged or empty grant");
+    const std::size_t freed = pool_->shrinkTo(grant.chainId, tokens);
+    grant.chainCapacityTokens = pool_->capacityTokens(grant.chainId);
+    if (freed > 0) {
+        ++tailReclaims_;
+        reclaimedPages_ += freed;
+    }
+    return freed;
+}
+
+void
+KvBudgetAllocator::publishPrefix(const Grant &grant,
+                                 std::uint64_t key,
+                                 std::size_t tokens)
+{
+    KELLE_ASSERT(pool_ != nullptr && grant.admitted,
+                 "publishing from a non-paged or empty grant");
+    pool_->publishPrefix(grant.chainId, key, tokens);
+}
+
+std::size_t
+KvBudgetAllocator::availableTokens() const
+{
+    if (pool_ != nullptr)
+        return pool_->availablePages() * pool_->blockTokens();
+    return static_cast<std::size_t>(
+        (capacityBytes_ - inUseBytes_) / bytesPerToken_);
+}
+
+double
+KvBudgetAllocator::inUseBytes() const
+{
+    if (pool_ != nullptr)
+        return static_cast<double>(pool_->usedPages()) *
+               pool_->bytesPerPage();
+    return inUseBytes_;
+}
+
+double
+KvBudgetAllocator::peakInUseBytes() const
+{
+    if (pool_ != nullptr)
+        return static_cast<double>(pool_->peakUsedPages()) *
+               pool_->bytesPerPage();
+    return peakInUseBytes_;
+}
+
 double
 KvBudgetAllocator::utilization() const
 {
-    return inUseBytes_ / capacityBytes_;
+    return inUseBytes() / capacityBytes_;
 }
 
 std::size_t
 KvBudgetAllocator::capacityTokens() const
 {
+    if (pool_ != nullptr)
+        return pool_->totalPages() * pool_->blockTokens();
     return static_cast<std::size_t>(capacityBytes_ / bytesPerToken_);
 }
 

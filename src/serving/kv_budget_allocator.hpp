@@ -15,7 +15,19 @@
  * in the currently free bytes, and can only be rejected by the caller
  * when the floor exceeds the whole pool.
  *
- * Invariant: reserved bytes never exceed the pool capacity.
+ * Paged mode (`AllocatorConfig::pagedTotalPages > 0`, ISSUE 8): the
+ * byte pool is replaced by a kv::KvPagePool of fixed-size token pages.
+ * Admission reserves only the request's protected *floor* up front
+ * (attaching shared prefix pages copy-free when the request carries a
+ * prefix key); the rest of the budget materializes lazily through
+ * growChain() as the sequence appends, and failed growth clamps the
+ * budget to the chain's capacity instead of blocking — page-granular
+ * eviction pressure. shrinkChainTo() reclaims whole idle tail pages
+ * from running grants, which is what admission pressure harvests
+ * before deferring a new request. Contiguous mode is byte-for-byte
+ * the legacy allocator.
+ *
+ * Invariant: reserved bytes (or pages) never exceed the pool capacity.
  */
 
 #ifndef KELLE_SERVING_KV_BUDGET_ALLOCATOR_HPP
@@ -23,6 +35,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+
+#include "kvcache/kv_page_pool.hpp"
 
 namespace kelle {
 namespace serving {
@@ -34,17 +49,32 @@ struct AllocatorConfig
     double bytesPerToken = 1.0;  ///< model.kvBytesPerToken(kvBits)
     /** Utilization above which new grants shrink toward the floor. */
     double highWatermark = 0.85;
+
+    /** @name Paged mode (> 0 pages switches the pool over). @{ */
+    std::size_t pagedTotalPages = 0;
+    std::size_t pagedBlockTokens = 64;
+    double pagedBytesPerPage = 0.0;
+    bool pagedSharePrefixes = true;
+    /** @} */
 };
 
 class KvBudgetAllocator
 {
   public:
+    static constexpr std::size_t kNoChain = kv::KvPagePool::kNoChain;
+
     /** Outcome of an admission attempt. */
     struct Grant
     {
         bool admitted = false;
         std::size_t budgetTokens = 0; ///< granted N'
         double bytes = 0.0;           ///< reserved pool bytes
+        /** @name Paged-mode fields (defaults in contiguous mode). @{ */
+        std::size_t chainId = kNoChain;
+        std::size_t prefixHitTokens = 0;
+        /** Current page-chain token capacity (grows lazily). */
+        std::size_t chainCapacityTokens = 0;
+        /** @} */
     };
 
     explicit KvBudgetAllocator(const AllocatorConfig &cfg);
@@ -54,16 +84,42 @@ class KvBudgetAllocator
      * protected floor of `min_tokens` (sink + recent window). Grants
      * the full request while below the watermark, the largest budget
      * that stays below it under pressure (never below the floor), and
-     * defers when the floor does not fit in the free bytes.
+     * defers when the floor does not fit in the free bytes (paged
+     * mode: in the free + cached pages). In paged mode a nonzero
+     * `prefix_key` attaches published prefix pages copy-free.
      */
-    Grant tryAdmit(std::size_t requested_tokens, std::size_t min_tokens);
+    Grant tryAdmit(std::size_t requested_tokens,
+                   std::size_t min_tokens,
+                   std::uint64_t prefix_key = 0,
+                   std::size_t prefix_tokens = 0);
 
-    /** Return a grant's bytes to the pool; zeroes the grant. */
+    /** Return a grant's bytes (or pages) to the pool; zeroes it. */
     void release(Grant &grant);
 
+    /** @name Paged-mode grant lifecycle (no-ops when contiguous). @{ */
+    bool paged() const { return pool_ != nullptr; }
+    /**
+     * Grow the grant's chain to hold `tokens`; false on exhaustion
+     * with the chain at best-effort capacity — the caller clamps the
+     * budget via shrinkBudget (never below the admitted floor).
+     */
+    bool growChain(Grant &grant, std::size_t tokens);
+    /** Clamp the logical budget N' of a live grant. */
+    void shrinkBudget(Grant &grant, std::size_t tokens);
+    /** Reclaim whole tail pages above `tokens`; returns pages freed. */
+    std::size_t shrinkChainTo(Grant &grant, std::size_t tokens);
+    /** Publish the grant's first `tokens` tokens under `key`. */
+    void publishPrefix(const Grant &grant, std::uint64_t key,
+                       std::size_t tokens);
+    /** Tokens an admission could still acquire (free+cached pages). */
+    std::size_t availableTokens() const;
+    /** Direct page-pool view (null in contiguous mode). */
+    const kv::KvPagePool *pagePool() const { return pool_.get(); }
+    /** @} */
+
     double capacityBytes() const { return capacityBytes_; }
-    double inUseBytes() const { return inUseBytes_; }
-    double peakInUseBytes() const { return peakInUseBytes_; }
+    double inUseBytes() const;
+    double peakInUseBytes() const;
     double utilization() const;
     std::size_t capacityTokens() const;
 
@@ -71,16 +127,32 @@ class KvBudgetAllocator
     std::uint64_t shrunkGrants() const { return shrunkGrants_; }
     /** Failed attempts (request stays queued). */
     std::uint64_t deferrals() const { return deferrals_; }
+    /** Budget clamps after failed page growth (paged mode). */
+    std::uint64_t budgetClips() const { return budgetClips_; }
+    /** shrinkChainTo calls that freed pages / pages they freed. */
+    std::uint64_t tailReclaims() const { return tailReclaims_; }
+    std::uint64_t reclaimedPages() const { return reclaimedPages_; }
+    /** Peak sum of live grants' logical budgets N' — the resident-
+     *  token capacity metric the paged-vs-contiguous benches record
+     *  (prefix sharing stores shared tokens once but grants them to
+     *  every sharer, so paged peaks exceed the pool's token count). */
+    std::size_t peakLogicalTokens() const { return peakLogicalTokens_; }
 
   private:
     double capacityBytes_;
     double bytesPerToken_;
     double highWatermark_;
+    std::unique_ptr<kv::KvPagePool> pool_; ///< null = contiguous
 
     double inUseBytes_ = 0.0;
     double peakInUseBytes_ = 0.0;
+    std::size_t logicalTokens_ = 0;
+    std::size_t peakLogicalTokens_ = 0;
     std::uint64_t shrunkGrants_ = 0;
     std::uint64_t deferrals_ = 0;
+    std::uint64_t budgetClips_ = 0;
+    std::uint64_t tailReclaims_ = 0;
+    std::uint64_t reclaimedPages_ = 0;
 };
 
 } // namespace serving

@@ -34,6 +34,23 @@ defaultMix()
     return mix;
 }
 
+/** FNV-1a 64 over the session id and task name: the content identity
+ *  of a session's shared system prompt (never 0 for a live prefix). */
+std::uint64_t
+sessionPrefixKey(std::uint64_t session, const std::string &task)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mixByte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    };
+    for (int i = 0; i < 8; ++i)
+        mixByte(static_cast<unsigned char>(session >> (8 * i)));
+    for (char c : task)
+        mixByte(static_cast<unsigned char>(c));
+    return h == 0 ? 1 : h;
+}
+
 const sim::Task &
 sampleTask(Rng &rng, const std::vector<std::pair<sim::Task, double>> &mix)
 {
@@ -88,6 +105,9 @@ generateTrace(const TrafficConfig &cfg)
 
     const auto mix = cfg.mix.empty() ? defaultMix() : cfg.mix;
     Rng rng(cfg.seed);
+    // Session assignment draws from its own stream so that enabling
+    // sessions never perturbs the arrival times or task samples.
+    Rng session_rng(cfg.seed ^ 0x5e5510f5a6edULL);
 
     // MMPP phase rates. The off-phase rate is whatever preserves the
     // long-run mean: rate = f*on + (1-f)*off.
@@ -121,6 +141,20 @@ generateTrace(const TrafficConfig &cfg)
             r.arrival = Time::seconds(now);
             r.ttftDeadlineSec = cfg.slo.ttftDeadlineSec(r.task.ctxLen);
             r.tpotTargetSec = std::max(0.0, cfg.slo.tpotSec);
+            if (cfg.sessions > 0 && r.task.ctxLen > 1) {
+                const std::uint64_t session =
+                    session_rng.below(cfg.sessions);
+                const double frac =
+                    std::clamp(cfg.sessionPrefixFrac, 0.0, 1.0);
+                r.prefixLen = std::min(
+                    r.task.ctxLen - 1,
+                    static_cast<std::size_t>(
+                        frac *
+                        static_cast<double>(r.task.ctxLen)));
+                if (r.prefixLen > 0)
+                    r.prefixKey =
+                        sessionPrefixKey(session, r.task.name);
+            }
             trace.push_back(r);
         } else {
             now = phase_end;

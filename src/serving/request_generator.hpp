@@ -82,6 +82,19 @@ struct TrafficConfig
     double burstMeanArrivals = 8.0;
     std::size_t numRequests = 64;
     std::uint64_t seed = 42;
+    /**
+     * Multi-turn sessions (0 = off, every prompt unique). With S > 0,
+     * each arrival is assigned to one of S seeded sessions and stamps
+     * the (session, task)-derived prefix key on its request: requests
+     * from the same session and task class share a system prompt of
+     * `sessionPrefixFrac * ctxLen` tokens, which the paged KV pool
+     * stores once and every follow-up turn attaches copy-free. The
+     * session stream draws from its own Rng, so the arrival trace is
+     * byte-identical to sessions = 0.
+     */
+    std::size_t sessions = 0;
+    /** Fraction of each prompt covered by the shared session prefix. */
+    double sessionPrefixFrac = 0.5;
     /** Weighted task mix; empty selects hardwareTasks() equally. */
     std::vector<std::pair<sim::Task, double>> mix;
     /** Per-task TTFT/TPOT deadlines stamped on every request. */

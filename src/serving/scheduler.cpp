@@ -36,6 +36,7 @@ deviceConfigFrom(const ServingConfig &cfg)
     d.chunkTokens = cfg.chunkTokens;
     d.chunkSlackFrac = cfg.chunkSlackFrac;
     d.preempt = cfg.preempt;
+    d.paged = cfg.paged;
     d.budgetOverride = cfg.budgetOverride;
     d.poolTokens = cfg.poolTokens;
     d.highWatermark = cfg.highWatermark;
@@ -85,6 +86,20 @@ deviceReport(const DeviceEngine &dev, Time makespan)
     rep.poolPeakBytes = dev.allocator().peakInUseBytes();
     rep.shrunkGrants = dev.allocator().shrunkGrants();
     rep.deferrals = dev.allocator().deferrals();
+    rep.peakLogicalTokens = dev.allocator().peakLogicalTokens();
+    if (const kv::KvPagePool *pool = dev.allocator().pagePool()) {
+        rep.paged.enabled = true;
+        rep.paged.totalPages = pool->totalPages();
+        rep.paged.blockTokens = pool->blockTokens();
+        rep.paged.peakUsedPages = pool->peakUsedPages();
+        rep.paged.peakSharedPages = pool->peakSharedPages();
+        rep.paged.prefixHitTokens = pool->prefixHitTokens();
+        rep.paged.cowCopies = pool->cowCopies();
+        rep.paged.cachedReclaims = pool->cachedReclaims();
+        rep.paged.tailReclaims = dev.allocator().tailReclaims();
+        rep.paged.reclaimedPages = dev.allocator().reclaimedPages();
+        rep.paged.budgetClips = dev.allocator().budgetClips();
+    }
     rep.drained = dev.drained();
     return rep;
 }

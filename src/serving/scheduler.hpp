@@ -67,6 +67,9 @@ struct ServingConfig
     /** Preempt-and-requeue of deadline-doomed decodes (off by
      *  default; the cluster exposes it as a fleet-level knob). */
     PreemptConfig preempt;
+    /** Paged KV pool (off keeps the contiguous allocator bit-exactly;
+     *  see PagedKvConfig in device_engine.hpp). */
+    PagedKvConfig paged;
     /** Per-request budget override; 0 keeps each task's N'. */
     std::size_t budgetOverride = 0;
     /**
@@ -103,6 +106,22 @@ struct ServingConfig
 /** The per-device slice of a ServingConfig, for the executor. */
 DeviceConfig deviceConfigFrom(const ServingConfig &cfg);
 
+/** Paged-pool accounting in a report (zeros in contiguous mode). */
+struct PagedPoolStats
+{
+    bool enabled = false;
+    std::size_t totalPages = 0;
+    std::size_t blockTokens = 0;
+    std::size_t peakUsedPages = 0;
+    std::size_t peakSharedPages = 0;
+    std::uint64_t prefixHitTokens = 0;
+    std::uint64_t cowCopies = 0;
+    std::uint64_t cachedReclaims = 0;
+    std::uint64_t tailReclaims = 0;
+    std::uint64_t reclaimedPages = 0;
+    std::uint64_t budgetClips = 0;
+};
+
 /** Run outcome: SLO summary plus engine/allocator accounting. */
 struct ServingReport
 {
@@ -116,6 +135,10 @@ struct ServingReport
     double poolPeakBytes = 0.0;
     std::uint64_t shrunkGrants = 0;
     std::uint64_t deferrals = 0;
+    /** Peak sum of live grants' logical budgets N' (both modes) —
+     *  the resident-token capacity metric of the paged benches. */
+    std::size_t peakLogicalTokens = 0;
+    PagedPoolStats paged;
     /** False when maxEngineSteps truncated the run. */
     bool drained = true;
 };

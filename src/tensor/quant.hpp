@@ -77,6 +77,23 @@ isPowerOfTwo(std::size_t n)
 }
 
 /**
+ * Modeled storage bytes of `n` values held at `bits` with asymmetric
+ * group quantization: the packed payload plus one fp32 scale and zero
+ * point per group (the QuantizedGroups layout). 16-bit values are
+ * stored dense with no metadata. Used for KV-page byte accounting.
+ */
+constexpr double
+quantizedStoreBytes(std::size_t n, int bits, std::size_t group_size)
+{
+    if (bits >= 16)
+        return 2.0 * static_cast<double>(n);
+    const std::size_t groups = (n + group_size - 1) / group_size;
+    return static_cast<double>(n * static_cast<std::size_t>(bits)) /
+               8.0 +
+           8.0 * static_cast<double>(groups);
+}
+
+/**
  * QuaRot-style fake quantization: rotate by the orthonormal Hadamard
  * transform, group-quantize to `bits`, then rotate back. Outliers are
  * spread across the group before quantization, which is the mechanism

@@ -98,6 +98,18 @@ TEST(GoldenDigest, BenchServingSmallConfig)
                  0x451a96a526f86c74ull);
 }
 
+TEST(GoldenDigest, BenchServingPagedSessionsSmoke)
+{
+    // The paged KV pool rides the same deterministic engine: the
+    // paged + sessions smoke config is pinned byte-for-byte, so any
+    // nondeterminism in page allocation, prefix sharing, or the
+    // paged fast-forward path shows up as a digest drift here.
+    expectDigest("bench/bench_serving",
+                 "--paged --sessions 4 --rate 0.05 --requests 16 "
+                 "--policy contbatch --sweep 0 --study 0",
+                 0xce1d383c8662791eull);
+}
+
 TEST(GoldenDigest, BenchClusterSmallHeteroConfig)
 {
     expectDigest("bench/bench_cluster",

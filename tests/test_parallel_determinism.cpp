@@ -109,6 +109,19 @@ expectReportsBitIdentical(const serving::ServingReport &a,
     EXPECT_EQ(a.poolPeakBytes, b.poolPeakBytes) << label;
     EXPECT_EQ(a.shrunkGrants, b.shrunkGrants) << label;
     EXPECT_EQ(a.deferrals, b.deferrals) << label;
+    EXPECT_EQ(a.peakLogicalTokens, b.peakLogicalTokens) << label;
+    EXPECT_EQ(a.paged.enabled, b.paged.enabled) << label;
+    EXPECT_EQ(a.paged.totalPages, b.paged.totalPages) << label;
+    EXPECT_EQ(a.paged.peakUsedPages, b.paged.peakUsedPages) << label;
+    EXPECT_EQ(a.paged.peakSharedPages, b.paged.peakSharedPages)
+        << label;
+    EXPECT_EQ(a.paged.prefixHitTokens, b.paged.prefixHitTokens)
+        << label;
+    EXPECT_EQ(a.paged.cowCopies, b.paged.cowCopies) << label;
+    EXPECT_EQ(a.paged.cachedReclaims, b.paged.cachedReclaims) << label;
+    EXPECT_EQ(a.paged.tailReclaims, b.paged.tailReclaims) << label;
+    EXPECT_EQ(a.paged.reclaimedPages, b.paged.reclaimedPages) << label;
+    EXPECT_EQ(a.paged.budgetClips, b.paged.budgetClips) << label;
     EXPECT_EQ(a.drained, b.drained) << label;
 }
 
