@@ -29,6 +29,7 @@
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -147,6 +148,10 @@ main(int argc, char **argv)
     args.addBool("preempt", false,
                  "reclaim KV grants of deadline-doomed decodes and "
                  "re-dispatch the victims");
+    args.addDouble("slo-tpot", 0.0,
+                   "override the per-request TPOT target in seconds "
+                   "(0 = trace default); tight targets doom stalled "
+                   "decodes, which is what --preempt reclaims");
     args.addInt("requests", 48, "trace length in requests");
     args.addInt("seed", 42, "arrival-trace seed");
     args.addInt("maxbatch", 16, "per-device decode-batch cap");
@@ -179,6 +184,11 @@ main(int argc, char **argv)
     args.addDouble("metrics-interval", 60.0,
                    "time-series sampling interval for --metrics-out "
                    "CSV, sim seconds");
+    args.addBool("attribution", false,
+                 "per-request latency waterfalls on the first "
+                 "headline cell: print the SLO miss-cause breakdown, "
+                 "add attribution.* metrics to --metrics-out and SLO "
+                 "targets to --trace-out");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -217,6 +227,8 @@ main(int argc, char **argv)
     base.engine.chunkTokens = args.getSize("chunk-tokens");
     base.engine.chunkSlackFrac = args.getDouble("chunk-slack");
     base.engine.preempt.enabled = args.getBool("preempt");
+    if (args.getDouble("slo-tpot") > 0.0)
+        base.engine.traffic.slo.tpotSec = args.getDouble("slo-tpot");
     base.engine.maxEngineSteps = args.getSize("steps");
     base.engine.fastSim = args.getBool("fastsim");
     base.threads = args.getSize("threads");
@@ -247,12 +259,16 @@ main(int argc, char **argv)
     const std::string trace_out = args.getString("trace-out");
     const std::string metrics_out = args.getString("metrics-out");
     obs::TraceRecorder recorder;
+    obs::LatencyWaterfall waterfall;
+    const bool attribution = args.getBool("attribution");
     const bool record = !trace_out.empty() || !metrics_out.empty();
     std::vector<cluster::ClusterReport> runs(dispatches.size());
     common::parallelFor(dispatches.size(), [&](std::size_t i) {
         cluster::ClusterConfig cfg = base;
         if (i == 0 && record)
             cfg.engine.trace = &recorder;
+        if (i == 0 && attribution)
+            cfg.engine.waterfall = &waterfall;
         runs[i] = runCell(cfg, dispatches[i]);
     });
     Table headline(kClusterHeader);
@@ -296,6 +312,15 @@ main(int argc, char **argv)
             " (busy fractions are of the cluster makespan)");
     }
 
+    if (attribution) {
+        std::vector<std::string> names;
+        for (const auto &d : runs.front().devices)
+            names.push_back(d.name);
+        bench::printAttribution(
+            runs.front().aggregate.attribution, names,
+            toString(dispatches.front()) + " dispatch");
+    }
+
     if (!trace_out.empty()) {
         if (recorder.writeJson(trace_out))
             std::printf("\nwrote trace: %s (%s dispatch; load at "
@@ -304,6 +329,8 @@ main(int argc, char **argv)
                         toString(dispatches.front()).c_str());
     }
     if (!metrics_out.empty()) {
+        if (attribution)
+            obs::exportAttributionMetrics(waterfall, fleet_metrics);
         fleet_metrics.ingestTrace(recorder);
         if (fleet_metrics.writeFile(
                 metrics_out, args.getDouble("metrics-interval")))

@@ -164,6 +164,11 @@ main(int argc, char **argv)
     args.addDouble("metrics-interval", 60.0,
                    "time-series sampling interval for --metrics-out "
                    "CSV, sim seconds");
+    args.addBool("attribution", false,
+                 "per-request latency waterfalls on the first "
+                 "headline policy: print the SLO miss-cause "
+                 "breakdown, add attribution.* metrics to "
+                 "--metrics-out and SLO targets to --trace-out");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -225,12 +230,16 @@ main(int argc, char **argv)
     const std::string trace_out = args.getString("trace-out");
     const std::string metrics_out = args.getString("metrics-out");
     obs::TraceRecorder recorder;
+    obs::LatencyWaterfall waterfall;
+    const bool attribution = args.getBool("attribution");
     const bool record = !trace_out.empty() || !metrics_out.empty();
     std::vector<serving::ServingReport> runs(policies.size());
     common::parallelFor(policies.size(), [&](std::size_t i) {
         serving::ServingConfig cfg = base;
         if (i == 0 && record)
             cfg.trace = &recorder;
+        if (i == 0 && attribution)
+            cfg.waterfall = &waterfall;
         runs[i] = runCell(cfg, policies[i], headline_chunk);
     });
     Table headline(kSummaryHeader);
@@ -245,6 +254,11 @@ main(int argc, char **argv)
         Table::num(base.traffic.slo.ttftPerCtxTokenSec * 1e3, 0) +
         "ms/ctx-token, TPOT " +
         Table::num(base.traffic.slo.tpotSec * 1e3, 0) + "ms");
+
+    if (attribution)
+        bench::printAttribution(runs.front().attribution, {},
+                                toString(policies.front()) +
+                                    " policy");
 
     if (!trace_out.empty()) {
         if (recorder.writeJson(trace_out))
@@ -263,6 +277,8 @@ main(int argc, char **argv)
                      runs.front().summary.goodputTokensPerSec);
         reg.setGauge("serving.slo_attainment",
                      runs.front().summary.sloAttainment);
+        if (attribution)
+            obs::exportAttributionMetrics(waterfall, reg);
         reg.ingestTrace(recorder);
         if (reg.writeFile(metrics_out,
                           args.getDouble("metrics-interval")))

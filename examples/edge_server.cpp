@@ -22,9 +22,11 @@
 #include <cstdio>
 
 #include "cluster/cluster_engine.hpp"
+#include "cluster/cluster_metrics.hpp"
 #include "common/arg_parser.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serving/scheduler.hpp"
 
@@ -76,6 +78,21 @@ printSummary(const serving::ServingReport &rep)
     t.print("session summary");
 }
 
+/**
+ * Dump the session's metrics registry (the same `.csv` / `.json`
+ * formats bench_serving and bench_cluster emit) after lifting the
+ * per-device time series and latency histograms off the recorder.
+ */
+void
+writeMetrics(obs::MetricsRegistry &reg,
+             const obs::TraceRecorder &recorder,
+             const std::string &metrics_out, double interval_sec)
+{
+    reg.ingestTrace(recorder);
+    if (reg.writeFile(metrics_out, interval_sec))
+        std::printf("\nwrote metrics: %s\n", metrics_out.c_str());
+}
+
 } // namespace
 
 int
@@ -105,6 +122,12 @@ main(int argc, char **argv)
                    "also record the session as Chrome trace-event "
                    "JSON (open in https://ui.perfetto.dev; see "
                    "docs/TRACING.md)");
+    args.addString("metrics-out", "",
+                   "dump session metrics (.csv time series or .json) "
+                   "for parity with bench_serving/bench_cluster");
+    args.addDouble("metrics-interval", 60.0,
+                   "time-series sampling interval for --metrics-out "
+                   "CSV, sim seconds");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -144,8 +167,9 @@ main(int argc, char **argv)
     // the cluster engine thread it to their devices identically. The
     // narrated stdout is byte-identical with or without it.
     const std::string trace_out = args.getString("trace-out");
+    const std::string metrics_out = args.getString("metrics-out");
     obs::TraceRecorder recorder;
-    if (!trace_out.empty())
+    if (!trace_out.empty() || !metrics_out.empty())
         cfg.trace = &recorder;
 
     const std::size_t devices = args.getSize("devices");
@@ -156,11 +180,25 @@ main(int argc, char **argv)
                     toString(cfg.policy).c_str(), cfg.poolTokens);
 
         serving::Scheduler engine(cfg);
-        printSummary(engine.run());
+        const serving::ServingReport rep = engine.run();
+        printSummary(rep);
         if (!trace_out.empty() && recorder.writeJson(trace_out))
             std::printf("\nwrote trace: %s (load at "
                         "https://ui.perfetto.dev)\n",
                         trace_out.c_str());
+        if (!metrics_out.empty()) {
+            obs::MetricsRegistry reg;
+            reg.setGauge("serving.completed",
+                         static_cast<double>(rep.summary.completed));
+            reg.setGauge("serving.rejected",
+                         static_cast<double>(rep.summary.rejected));
+            reg.setGauge("serving.goodput_tok_per_s",
+                         rep.summary.goodputTokensPerSec);
+            reg.setGauge("serving.slo_attainment",
+                         rep.summary.sloAttainment);
+            writeMetrics(reg, recorder, metrics_out,
+                         args.getDouble("metrics-interval"));
+        }
         return 0;
     }
 
@@ -205,5 +243,11 @@ main(int argc, char **argv)
         std::printf("\nwrote trace: %s (load at "
                     "https://ui.perfetto.dev)\n",
                     trace_out.c_str());
+    if (!metrics_out.empty()) {
+        obs::MetricsRegistry reg;
+        cluster::exportClusterMetrics(rep, reg);
+        writeMetrics(reg, recorder, metrics_out,
+                     args.getDouble("metrics-interval"));
+    }
     return 0;
 }

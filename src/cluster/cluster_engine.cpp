@@ -106,6 +106,13 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
         if (cfg_.engine.trace != nullptr)
             devices_.back()->setTrace(cfg_.engine.trace->addDeviceTrack(
                 spec.name.empty() ? "device" : spec.name));
+        // One shared waterfall across the fleet: entries are indexed
+        // by request, each written only by the device serving that
+        // request — the same single-writer handoff as the shared
+        // request table.
+        if (cfg_.engine.waterfall != nullptr)
+            devices_.back()->setWaterfall(
+                cfg_.engine.waterfall, static_cast<std::uint32_t>(i));
 
         serving::DeviceEngine::Hooks hooks;
         if (parallel) {
@@ -413,6 +420,8 @@ ClusterEngine::run()
             obs::PhaseProfiler::Phase::TraceGen);
         requests_ = serving::generateTrace(cfg_.engine.traffic);
     }
+    if (cfg_.engine.waterfall != nullptr)
+        cfg_.engine.waterfall->beginRun(requests_.size());
     if (threads_ > 1)
         runParallel();
     else
@@ -434,7 +443,11 @@ ClusterEngine::run()
         devs.push_back(dev.get());
     obs::PhaseProfiler::Timer timer(
         cfg_.engine.profiler, obs::PhaseProfiler::Phase::RollUp);
-    return rollUpCluster(devs, makespan);
+    ClusterReport rep = rollUpCluster(devs, makespan);
+    if (cfg_.engine.waterfall != nullptr)
+        rep.aggregate.attribution =
+            cfg_.engine.waterfall->report(devices_.size());
+    return rep;
 }
 
 } // namespace cluster

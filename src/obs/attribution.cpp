@@ -1,0 +1,407 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace kelle {
+namespace obs {
+
+const char *
+toString(LatencyComponent c)
+{
+    switch (c) {
+    case LatencyComponent::QueueWait:
+        return "queue_wait";
+    case LatencyComponent::KvStall:
+        return "kv_stall";
+    case LatencyComponent::PrefillCompute:
+        return "prefill_compute";
+    case LatencyComponent::ChunkInterleave:
+        return "chunk_interleave";
+    case LatencyComponent::DecodeCompute:
+        return "decode_compute";
+    case LatencyComponent::BatchInterference:
+        return "batch_interference";
+    case LatencyComponent::PreemptLoss:
+        return "preempt_loss";
+    case LatencyComponent::DecodeStall:
+        return "decode_stall";
+    }
+    return "?";
+}
+
+const char *
+toString(MissCause c)
+{
+    switch (c) {
+    case MissCause::None:
+        return "none";
+    case MissCause::Queue:
+        return "queue";
+    case MissCause::KvPressure:
+        return "kv_pressure";
+    case MissCause::Interference:
+        return "interference";
+    case MissCause::Preempt:
+        return "preempt";
+    case MissCause::Compute:
+        return "compute";
+    case MissCause::OverloadReject:
+        return "overload_reject";
+    }
+    return "?";
+}
+
+double
+exactRemainder(double total, double partial)
+{
+    double r = total - partial;
+    // The rounded difference is within an ulp of the fixpoint; walk
+    // the last steps so the fold identity holds bitwise.
+    while (partial + r < total)
+        r = std::nextafter(r, std::numeric_limits<double>::infinity());
+    while (partial + r > total)
+        r = std::nextafter(r, -std::numeric_limits<double>::infinity());
+    return r;
+}
+
+void
+closeFold(double total, double *c, std::size_t last)
+{
+    c[last] = exactRemainder(total, foldComponents(c, last));
+    if (foldComponents(c, last + 1) == total)
+        return;
+    // Round-to-even parked every candidate sum on a midpoint (the
+    // partial fold carries a live half-ulp bit and the target's last
+    // bit is odd). Shifting a donor component by an ulp moves the
+    // midpoint; alternate +-k ulps around its original value until
+    // the fold closes. A single donor can be parity-locked — the
+    // fold's intermediate rounding keeps the reachable partials on
+    // midpoints for every nudge — so donors are tried largest
+    // magnitude first: a different addend takes a different rounding
+    // path through the fold. One ulp on the first donor suffices in
+    // practice; the rest of the walk is belt and braces.
+    std::size_t order[kLatencyComponentCount];
+    for (std::size_t i = 0; i < last; ++i)
+        order[i] = i;
+    std::stable_sort(order, order + last,
+                     [&](std::size_t a, std::size_t b) {
+                         return std::fabs(c[a]) > std::fabs(c[b]);
+                     });
+    for (std::size_t oi = 0; oi < last; ++oi) {
+        const std::size_t donor = order[oi];
+        const double donor0 = c[donor];
+        for (int k = 1; k <= 16; ++k) {
+            double d = donor0;
+            const double dir =
+                k % 2 != 0 ? std::numeric_limits<double>::infinity()
+                           : -std::numeric_limits<double>::infinity();
+            for (int step = 0; step < (k + 1) / 2; ++step)
+                d = std::nextafter(d, dir);
+            c[donor] = d;
+            c[last] = exactRemainder(total, foldComponents(c, last));
+            if (foldComponents(c, last + 1) == total)
+                return;
+        }
+        c[donor] = donor0;
+    }
+    // Unreachable for engine magnitudes (pinned by the sweep tests);
+    // keep the best remainder-only answer rather than a wild donor.
+    c[last] = exactRemainder(total, foldComponents(c, last));
+}
+
+MissCause
+classifyMiss(bool rejected, bool missed_ttft, bool missed_tpot,
+             const double c[kLatencyComponentCount])
+{
+    if (rejected)
+        return MissCause::OverloadReject;
+    if (!missed_ttft && !missed_tpot)
+        return MissCause::None;
+
+    // Buckets in tie-break order. Only the components of the missed
+    // deadline(s) vote: a TPOT-only miss must not be blamed on queue
+    // wait that happened before the (met) first token.
+    const MissCause order[] = {MissCause::Queue, MissCause::KvPressure,
+                               MissCause::Interference,
+                               MissCause::Preempt, MissCause::Compute};
+    double bucket[5] = {};
+    if (missed_ttft) {
+        bucket[0] += c[0]; // queue_wait
+        bucket[1] += c[1]; // kv_stall
+        bucket[2] += c[3]; // chunk_interleave
+        bucket[4] += c[2]; // prefill_compute
+    }
+    if (missed_tpot) {
+        bucket[2] += c[5] + c[7]; // batch_interference + decode_stall
+        bucket[3] += c[6];        // preempt_loss
+        bucket[4] += c[4];        // decode_compute
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < 5; ++i)
+        if (bucket[i] > bucket[best])
+            best = i;
+    return order[best];
+}
+
+void
+LatencyWaterfall::beginRun(std::size_t n_requests)
+{
+    entries_.assign(n_requests, WaterfallEntry{});
+}
+
+WaterfallEntry &
+LatencyWaterfall::at(std::size_t idx)
+{
+    // Owners pre-size via beginRun; growth here only covers bare
+    // DeviceEngine use and always happens on the coordinator (enqueue
+    // runs with workers joined), mirroring the shared request table.
+    if (idx >= entries_.size())
+        entries_.resize(idx + 1);
+    return entries_[idx];
+}
+
+void
+LatencyWaterfall::onArrival(std::size_t idx, std::uint64_t req_id,
+                            Time t, double ttft_deadline_sec,
+                            double tpot_target_sec, std::size_t dec_len)
+{
+    WaterfallEntry &e = at(idx);
+    e.reqId = req_id;
+    e.arrival = t;
+    e.ttftDeadlineSec = ttft_deadline_sec;
+    e.tpotTargetSec = tpot_target_sec;
+    e.decLen = dec_len;
+}
+
+void
+LatencyWaterfall::onDeferred(std::size_t idx, Time t)
+{
+    WaterfallEntry &e = at(idx);
+    if (!e.deferred) {
+        e.deferred = true;
+        e.firstDefer = t;
+    }
+}
+
+void
+LatencyWaterfall::onAdmitted(std::size_t idx, Time t)
+{
+    at(idx).admitted = t;
+}
+
+void
+LatencyWaterfall::onPrefillChunk(std::size_t idx, double sec)
+{
+    at(idx).components[static_cast<std::size_t>(
+        LatencyComponent::PrefillCompute)] += sec;
+}
+
+void
+LatencyWaterfall::onFirstToken(std::size_t idx, Time t)
+{
+    at(idx).firstToken = t;
+}
+
+void
+LatencyWaterfall::onPreempt(std::size_t idx, Time t)
+{
+    WaterfallEntry &e = at(idx);
+    // At most one preemption per request (engine invariant); keep the
+    // first stamp if that ever changes so c7 stays a single interval.
+    if (!e.preempted) {
+        e.preempted = true;
+        e.preemptAt = t;
+    }
+}
+
+void
+LatencyWaterfall::onResume(std::size_t idx, Time t)
+{
+    at(idx).resumeAt = t;
+}
+
+void
+LatencyWaterfall::onDecodeBoundary(std::size_t idx, double step_sec,
+                                   double batch)
+{
+    WaterfallEntry &e = at(idx);
+    const double fair = step_sec / batch;
+    e.components[static_cast<std::size_t>(
+        LatencyComponent::DecodeCompute)] += fair;
+    e.components[static_cast<std::size_t>(
+        LatencyComponent::BatchInterference)] += step_sec - fair;
+}
+
+void
+LatencyWaterfall::finalize(WaterfallEntry &e)
+{
+    double *c = e.components;
+    const auto ix = [](LatencyComponent comp) {
+        return static_cast<std::size_t>(comp);
+    };
+    if (e.rejected) {
+        // A reject never produced a token: its whole life was queue
+        // wait. (A preempted victim re-dispatched to a pool that can
+        // never fit its floor is rejected too; its pre-preempt
+        // service is discarded from the waterfall exactly as its
+        // emitted tokens were.)
+        for (std::size_t i = 0; i < kLatencyComponentCount; ++i)
+            c[i] = 0.0;
+        c[ix(LatencyComponent::QueueWait)] =
+            (e.finished - e.arrival).sec();
+        e.ttftSec = c[ix(LatencyComponent::QueueWait)];
+        e.e2eSec = c[ix(LatencyComponent::QueueWait)];
+    } else {
+        e.ttftSec = (e.firstToken - e.arrival).sec();
+        e.e2eSec = (e.finished - e.arrival).sec();
+        // First admission verdict: the first deferral if the
+        // allocator ever said no, else the admission itself.
+        const Time verdict = e.deferred ? e.firstDefer : e.admitted;
+        c[ix(LatencyComponent::QueueWait)] =
+            (verdict - e.arrival).sec();
+        c[ix(LatencyComponent::KvStall)] =
+            e.deferred ? (e.admitted - e.firstDefer).sec() : 0.0;
+        // c3 (prefill) accumulated in onPrefillChunk; c4 closes the
+        // TTFT fold exactly (an earlier component donates the
+        // tie-break ulp when rounding demands one).
+        closeFold(e.ttftSec, c, ix(LatencyComponent::ChunkInterleave));
+        // c5/c6 accumulated at decode boundaries; c7 is the single
+        // preempt -> resume interval (second-life queue/prefill live
+        // inside it); c8 closes the E2E fold exactly.
+        c[ix(LatencyComponent::PreemptLoss)] =
+            e.preempted ? (e.resumeAt - e.preemptAt).sec() : 0.0;
+        closeFold(e.e2eSec, c, ix(LatencyComponent::DecodeStall));
+    }
+    e.missedTtft = !e.rejected && e.ttftDeadlineSec > 0.0 &&
+                   e.ttftSec > e.ttftDeadlineSec;
+    e.missedTpot = false;
+    if (!e.rejected && e.tpotTargetSec > 0.0 && e.decLen > 0) {
+        const double tpot = (e.finished - e.firstToken).sec() /
+                            static_cast<double>(e.decLen);
+        e.missedTpot = tpot > e.tpotTargetSec;
+    }
+    e.cause = classifyMiss(e.rejected, e.missedTtft, e.missedTpot, c);
+    e.terminal = true;
+}
+
+void
+LatencyWaterfall::onCompleted(std::size_t idx, Time t,
+                              std::uint32_t device)
+{
+    WaterfallEntry &e = at(idx);
+    e.finished = t;
+    e.device = device;
+    e.rejected = false;
+    finalize(e);
+}
+
+void
+LatencyWaterfall::onRejected(std::size_t idx, Time t,
+                             std::uint32_t device)
+{
+    WaterfallEntry &e = at(idx);
+    e.finished = t;
+    e.device = device;
+    e.rejected = true;
+    finalize(e);
+}
+
+AttributionReport
+LatencyWaterfall::report(std::size_t n_devices) const
+{
+    AttributionReport rep;
+    std::size_t slots = n_devices;
+    for (const WaterfallEntry &e : entries_)
+        if (e.terminal && e.device + 1u > slots)
+            slots = e.device + 1u;
+    rep.devices.resize(slots);
+    for (const WaterfallEntry &e : entries_) {
+        if (!e.terminal)
+            continue;
+        AttributionReport::Device &dev = rep.devices[e.device];
+        ++rep.terminal;
+        ++dev.terminal;
+        if (e.rejected)
+            ++rep.rejected;
+        else
+            ++rep.completed;
+        for (std::size_t i = 0; i < kLatencyComponentCount; ++i) {
+            rep.componentTotals[i] += e.components[i];
+            dev.componentTotals[i] += e.components[i];
+        }
+        ++rep.missCounts[static_cast<std::size_t>(e.cause)];
+        ++dev.missCounts[static_cast<std::size_t>(e.cause)];
+        if (e.cause != MissCause::None) {
+            ++rep.misses;
+            ++dev.misses;
+        }
+    }
+    return rep;
+}
+
+void
+exportAttributionMetrics(const LatencyWaterfall &wf,
+                         MetricsRegistry &reg)
+{
+    const AttributionReport rep =
+        wf.report(/*n_devices=*/0);
+    char name[96];
+    for (std::size_t i = 0; i < kLatencyComponentCount; ++i) {
+        const char *comp = toString(static_cast<LatencyComponent>(i));
+        std::snprintf(name, sizeof name, "attribution.%s_total_sec",
+                      comp);
+        reg.setGauge(name, rep.componentTotals[i]);
+    }
+    for (std::size_t i = 0; i < kMissCauseCount; ++i) {
+        std::snprintf(name, sizeof name, "attribution.miss.%s",
+                      toString(static_cast<MissCause>(i)));
+        reg.setGauge(name, static_cast<double>(rep.missCounts[i]));
+    }
+    reg.setGauge("attribution.misses",
+                 static_cast<double>(rep.misses));
+    reg.setGauge("attribution.terminal",
+                 static_cast<double>(rep.terminal));
+
+    // Terminal entries in (finish time, request id) order: the
+    // cumulative per-component series and histogram fills are
+    // insertion-order independent.
+    std::vector<std::size_t> order;
+    order.reserve(wf.entries().size());
+    for (std::size_t i = 0; i < wf.entries().size(); ++i)
+        if (wf.entries()[i].terminal)
+            order.push_back(i);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const WaterfallEntry &ea = wf.entries()[a];
+                  const WaterfallEntry &eb = wf.entries()[b];
+                  if (ea.finished.sec() != eb.finished.sec())
+                      return ea.finished.sec() < eb.finished.sec();
+                  return ea.reqId < eb.reqId;
+              });
+
+    double cum[kLatencyComponentCount] = {};
+    for (std::size_t idx : order) {
+        const WaterfallEntry &e = wf.entries()[idx];
+        for (std::size_t i = 0; i < kLatencyComponentCount; ++i) {
+            const char *comp =
+                toString(static_cast<LatencyComponent>(i));
+            std::snprintf(name, sizeof name, "attribution.%s_sec",
+                          comp);
+            reg.histogram(name, 0.0, 120.0, 24)
+                .observe(e.components[i]);
+            cum[i] += e.components[i];
+            std::snprintf(name, sizeof name,
+                          "attribution.%s_cum_sec", comp);
+            reg.series(name).push(e.finished.sec(), cum[i]);
+        }
+    }
+}
+
+} // namespace obs
+} // namespace kelle

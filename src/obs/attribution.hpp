@@ -1,0 +1,273 @@
+/**
+ * @file
+ * SLO root-cause attribution: per-request latency waterfalls and miss
+ * classification.
+ *
+ * `LatencyWaterfall` is stamped by the device engines with one entry
+ * per request, decomposing the measured TTFT and end-to-end latency
+ * into eight *exactly-summing* components (the waterfall):
+ *
+ *   c1 queue_wait         arrival -> first admission verdict
+ *   c2 kv_stall           first allocator deferral -> admission
+ *   c3 prefill_compute    this request's own prefill chunk latencies
+ *   c4 chunk_interleave   TTFT remainder: time between admission and
+ *                         first token not spent on own prefill —
+ *                         chunk-interleaved decode steps and other
+ *                         requests' chunks sharing the engine
+ *   c5 decode_compute     fair share (latency / batch) of every decode
+ *                         step this request participated in
+ *   c6 batch_interference the rest of those steps' latency — the
+ *                         price of sharing the batch
+ *   c7 preempt_loss       preemption -> resumed decoding (requeue,
+ *                         re-dispatch, re-prefill of the lost KV)
+ *   c8 decode_stall       E2E remainder: decode-boundary gaps the
+ *                         request sat through without stepping —
+ *                         inflicted prefills, KV-blocked rounds, and
+ *                         paged-growth stalls (page growth is free in
+ *                         the current timing model, so its share
+ *                         reads 0 until a tiered pool prices it)
+ *
+ * Exactness contract (pinned by tests/test_attribution.cpp): with the
+ * left-to-right fold `((c1 + c2) + c3) + ...`, the first four
+ * components sum *bitwise* to the measured TTFT and all eight to the
+ * measured E2E. c4 and c8 are remainders nudged to the exact fixpoint
+ * (`exactRemainder`), so the identity holds for every request, not
+ * just up to rounding. All inputs are deterministic sim-time values,
+ * so waterfalls are bit-identical across `ClusterConfig::threads`
+ * values and fastSim on/off.
+ *
+ * `classifyMiss` labels each SLO miss with its dominant cause by
+ * comparing the component groups responsible for the missed deadline
+ * (queue / kv-pressure / interference / preempt / compute;
+ * overload-reject for requests the pool could never hold). The same
+ * classifier is shared with the offline `TraceReader`, so online
+ * reports and `kelle_trace` agree on the taxonomy.
+ *
+ * Cost contract: engines hold a `LatencyWaterfall *` that is null when
+ * attribution is off — every hook is a pointer test, no allocation,
+ * no output perturbation (the pre-attribution golden digests are
+ * recorded with the hooks compiled in and disabled). Thread safety
+ * mirrors the shared request table: each entry is written only by the
+ * device currently serving that request, and cross-device handoffs
+ * synchronize through the cluster coordinator (TSan-checked).
+ */
+
+#ifndef KELLE_OBS_ATTRIBUTION_HPP
+#define KELLE_OBS_ATTRIBUTION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kelle {
+namespace obs {
+
+class MetricsRegistry;
+
+/** The eight waterfall components, in fold order (see file header). */
+enum class LatencyComponent : std::uint8_t
+{
+    QueueWait,
+    KvStall,
+    PrefillCompute,
+    ChunkInterleave,
+    DecodeCompute,
+    BatchInterference,
+    PreemptLoss,
+    DecodeStall,
+};
+inline constexpr std::size_t kLatencyComponentCount = 8;
+/** Snake-case name, e.g. "queue_wait" (report/CLI vocabulary). */
+const char *toString(LatencyComponent c);
+
+/** Dominant cause of an SLO miss (None = both deadlines met). */
+enum class MissCause : std::uint8_t
+{
+    None,
+    Queue,          ///< waiting for a first admission verdict
+    KvPressure,     ///< allocator deferrals (KV pool exhausted)
+    Interference,   ///< sharing the engine/batch with other requests
+    Preempt,        ///< preempt-and-requeue loss
+    Compute,        ///< the request's own compute (SLO infeasible)
+    OverloadReject, ///< floor exceeded the whole pool
+};
+inline constexpr std::size_t kMissCauseCount = 7;
+const char *toString(MissCause c);
+
+/**
+ * Left-to-right fold of the first `n` components — THE summation
+ * convention of the exactness contract.
+ */
+inline double
+foldComponents(const double *c, std::size_t n)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        s += c[i];
+    return s;
+}
+
+/**
+ * The remainder `r` with `partial + r == total` *bitwise*, when one
+ * exists. Starts from the rounded difference and nudges by ulps
+ * toward the fixpoint. A fixpoint always exists when `partial` and
+ * `total` are within a factor of two (Sterbenz: the difference is
+ * exact); outside that band, round-to-even can park every candidate
+ * sum on a midpoint so that no representable remainder reaches an
+ * odd-last-bit total — `closeFold` handles that case.
+ */
+double exactRemainder(double total, double partial);
+
+/**
+ * Close a component fold bitwise: set `c[last]` so that the
+ * left-to-right fold of `c[0..last]` equals `total` exactly. Almost
+ * always `exactRemainder` alone suffices; when rounding makes the
+ * remainder-only fixpoint unreachable, an earlier component (donors
+ * tried largest magnitude first) is nudged by single ulps around its
+ * value to shift the rounding midpoint until the identity holds — a
+ * perturbation below any reporting precision, applied
+ * deterministically.
+ */
+void closeFold(double total, double *c, std::size_t last);
+
+/**
+ * Dominant-cause label for a terminal request. TTFT misses weigh
+ * {queue: c1, kv-pressure: c2, compute: c3, interference: c4}; TPOT
+ * misses add {compute: c5, interference: c6 + c8, preempt: c7}. The
+ * largest bucket wins; ties break in the order queue, kv-pressure,
+ * interference, preempt, compute. Rejected requests are always
+ * OverloadReject; requests that met both deadlines are None.
+ */
+MissCause classifyMiss(bool rejected, bool missed_ttft,
+                       bool missed_tpot,
+                       const double c[kLatencyComponentCount]);
+
+/** One request's waterfall (terminal once `terminal` is set). */
+struct WaterfallEntry
+{
+    std::uint64_t reqId = 0;
+    std::uint32_t device = 0; ///< device that finished/rejected it
+    bool terminal = false;
+    bool rejected = false;
+    bool deferred = false;  ///< saw >= 1 first-life deferral
+    bool preempted = false; ///< lost its KV grant mid-decode
+    bool missedTtft = false;
+    bool missedTpot = false;
+    MissCause cause = MissCause::None;
+
+    /** @name Lifecycle stamps (sim time). @{ */
+    Time arrival;
+    Time firstDefer; ///< meaningful only when `deferred`
+    Time admitted;
+    Time firstToken;
+    Time preemptAt; ///< meaningful only when `preempted`
+    Time resumeAt;  ///< second-life first token (when `preempted`)
+    Time finished;  ///< completion or rejection
+    /** @} */
+
+    /** SLO targets stamped at arrival (0 = disabled). */
+    double ttftDeadlineSec = 0.0;
+    double tpotTargetSec = 0.0;
+    std::size_t decLen = 0;
+
+    /** Measured latencies the components fold to (0 for rejects'
+     *  TTFT; a reject's E2E is its arrival -> rejection wait). */
+    double ttftSec = 0.0;
+    double e2eSec = 0.0;
+    /** The waterfall, indexed by LatencyComponent. */
+    double components[kLatencyComponentCount] = {};
+};
+
+/**
+ * Per-cause / per-device roll-up of a waterfall (index order over the
+ * entries, so the totals are deterministic).
+ */
+struct AttributionReport
+{
+    std::size_t terminal = 0;
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t misses = 0; ///< terminal entries with cause != None
+    /** Seconds per component summed over terminal requests. */
+    double componentTotals[kLatencyComponentCount] = {};
+    /** Terminal requests per dominant cause (index: MissCause). */
+    std::size_t missCounts[kMissCauseCount] = {};
+
+    struct Device
+    {
+        std::size_t terminal = 0;
+        std::size_t misses = 0;
+        double componentTotals[kLatencyComponentCount] = {};
+        std::size_t missCounts[kMissCauseCount] = {};
+    };
+    std::vector<Device> devices;
+};
+
+/**
+ * The per-request waterfall table, indexed like the owner's request
+ * vector. The owner (Scheduler / ClusterEngine) calls `beginRun`
+ * after trace generation; device engines stamp entries through the
+ * on* hooks (guarded by their null-pointer test) and finalize each
+ * entry at its terminal event.
+ */
+class LatencyWaterfall
+{
+  public:
+    /** Size the table for a run (clears previous entries). */
+    void beginRun(std::size_t n_requests);
+
+    /** @name Engine hooks (first-life events unless noted). @{ */
+    void onArrival(std::size_t idx, std::uint64_t req_id, Time t,
+                   double ttft_deadline_sec, double tpot_target_sec,
+                   std::size_t dec_len);
+    void onDeferred(std::size_t idx, Time t);
+    void onAdmitted(std::size_t idx, Time t);
+    /** One of this request's own prefill chunks ran for `sec`. */
+    void onPrefillChunk(std::size_t idx, double sec);
+    void onFirstToken(std::size_t idx, Time t);
+    /** Any-life: the request lost its grant mid-decode. */
+    void onPreempt(std::size_t idx, Time t);
+    /** Second-life prefill completion (decoding resumes). */
+    void onResume(std::size_t idx, Time t);
+    /** The request participated in a decode step of `step_sec`
+     *  latency shared by `batch` members (any life). */
+    void onDecodeBoundary(std::size_t idx, double step_sec,
+                          double batch);
+    /** Terminal events: compute components, classify, seal. @{ */
+    void onCompleted(std::size_t idx, Time t, std::uint32_t device);
+    void onRejected(std::size_t idx, Time t, std::uint32_t device);
+    /** @} @} */
+
+    const std::vector<WaterfallEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Roll up over >= `n_devices` device slots. */
+    AttributionReport report(std::size_t n_devices) const;
+
+  private:
+    WaterfallEntry &at(std::size_t idx);
+    void finalize(WaterfallEntry &e);
+
+    std::vector<WaterfallEntry> entries_;
+};
+
+/**
+ * Export a waterfall into a `MetricsRegistry`: per-component
+ * `attribution.<component>_total_sec` gauges and
+ * `attribution.<component>_sec` histograms over terminal requests,
+ * `attribution.miss.<cause>` counts, and cumulative
+ * `attribution.<component>_cum_sec` time series sampled at terminal
+ * events in (time, id) order.
+ */
+void exportAttributionMetrics(const LatencyWaterfall &wf,
+                              MetricsRegistry &reg);
+
+} // namespace obs
+} // namespace kelle
+
+#endif // KELLE_OBS_ATTRIBUTION_HPP

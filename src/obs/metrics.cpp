@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
@@ -44,6 +45,29 @@ Histogram::observe(double v)
     i = std::clamp<std::ptrdiff_t>(
         i, 0, static_cast<std::ptrdiff_t>(bins.size()) - 1);
     ++bins[static_cast<std::size_t>(i)];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (bins.empty() || !(hi > lo))
+        return max;
+    const double qc = std::clamp(q, 0.0, 1.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(qc * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    const double width = (hi - lo) / static_cast<double>(bins.size());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        cum += bins[i];
+        if (cum >= rank)
+            return std::clamp(
+                lo + width * static_cast<double>(i + 1), min, max);
+    }
+    return max;
 }
 
 void
@@ -228,7 +252,7 @@ MetricsRegistry::toCsv(double interval_sec) const
 std::string
 MetricsRegistry::toJson(double interval_sec) const
 {
-    std::string out = "{\"schema\":\"kelle.metrics/v1\",";
+    std::string out = "{\"schema\":\"kelle.metrics/v2\",";
     out += "\"interval_sec\":";
     appendExact(out, interval_sec);
     out += ",\n\"scalars\":{";
@@ -257,6 +281,12 @@ MetricsRegistry::toJson(double interval_sec) const
         appendExact(out, h.min);
         out += ",\"max\":";
         appendExact(out, h.max);
+        out += ",\"p50\":";
+        appendExact(out, h.quantile(0.50));
+        out += ",\"p95\":";
+        appendExact(out, h.quantile(0.95));
+        out += ",\"p99\":";
+        appendExact(out, h.quantile(0.99));
         out += ",\"bins\":[";
         for (std::size_t i = 0; i < h.bins.size(); ++i) {
             if (i > 0)

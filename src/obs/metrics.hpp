@@ -78,6 +78,17 @@ struct Histogram
     double max = 0.0;
 
     void observe(double v);
+
+    /**
+     * Nearest-rank quantile estimated from the bins: the upper edge
+     * of the bin holding the ceil(q*count)'th observation, clamped to
+     * the observed [min, max] envelope (so the estimate is exact at
+     * the extremes and never leaves the data range). `q` in [0, 1];
+     * 0 when the histogram is empty. The JSON dump emits p50/p95/p99
+     * from this so downstream tools never re-derive percentiles from
+     * raw buckets.
+     */
+    double quantile(double q) const;
 };
 
 class MetricsRegistry

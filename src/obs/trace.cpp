@@ -341,6 +341,15 @@ writeTrack(JsonWriter &w, const TraceTrack &track, int pid,
             writeCounter(w, "kv_prefix_hit_tokens", pid, e.tsUs,
                          e.v0);
             break;
+          case TraceEventKind::Slo:
+            writeInstant(w, "slo", pid, e.tsUs);
+            w.beginArgs();
+            w.uint("req", e.req);
+            w.num("ttft_deadline_s", e.v0);
+            w.num("tpot_target_s", e.v1);
+            w.endArgs();
+            w.close();
+            break;
         }
     }
 }

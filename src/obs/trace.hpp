@@ -72,6 +72,9 @@ enum class TraceEventKind : std::uint8_t
     KvPagesShared, ///< prefix-indexed pages counter sample (v0 pages)
     KvPrefixHits,  ///< cumulative prefix-hit tokens (v0 tokens)
     /** @} */
+    Slo, ///< request SLO targets (v0 TTFT deadline s, v1 TPOT target
+         ///< s) — emitted at arrival when attribution is on, so
+         ///< offline tools can re-derive miss classification
 };
 
 /** One recorded event; payload meaning depends on `kind`. */
@@ -189,6 +192,13 @@ class TraceTrack
     {
         push(t, TraceEventKind::KvPrefixHits, 0,
              static_cast<double>(tokens));
+    }
+    void
+    sloTarget(Time t, std::uint64_t req, double ttft_deadline_sec,
+              double tpot_target_sec)
+    {
+        push(t, TraceEventKind::Slo, req, ttft_deadline_sec,
+             tpot_target_sec);
     }
     /** @} */
 

@@ -1,0 +1,539 @@
+#include "obs/trace_reader.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace kelle {
+namespace obs {
+
+namespace {
+
+/**
+ * Cursor over one event line. The grammar is exactly what
+ * obs/trace.cpp emits: `{"key":value,...}` with string, number and
+ * (for "args" only) one nested flat object of string/number values.
+ */
+struct Cursor
+{
+    const char *p;
+    const char *end;
+
+    bool done() const { return p >= end; }
+    bool lit(char c)
+    {
+        if (done() || *p != c)
+            return false;
+        ++p;
+        return true;
+    }
+    bool str(std::string &out)
+    {
+        out.clear();
+        if (!lit('"'))
+            return false;
+        while (!done() && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (done())
+                    return false;
+            }
+            out.push_back(*p++);
+        }
+        return lit('"');
+    }
+    bool num(double &out)
+    {
+        char *after = nullptr;
+        out = std::strtod(p, &after);
+        if (after == p || after > end)
+            return false;
+        p = after;
+        return true;
+    }
+};
+
+bool
+parseArgs(Cursor &c, RawTraceEvent &ev)
+{
+    if (!c.lit('{'))
+        return false;
+    if (c.lit('}'))
+        return true;
+    std::string key;
+    std::string sval;
+    for (;;) {
+        if (!c.str(key) || !c.lit(':'))
+            return false;
+        if (!c.done() && *c.p == '"') {
+            if (!c.str(sval))
+                return false;
+            if (key == "name")
+                ev.metaName = sval;
+            else if (key == "outcome" && sval == "rejected")
+                ev.outcomeRejected = true;
+        } else {
+            double v = 0.0;
+            if (!c.num(v))
+                return false;
+            ev.args[key] = v;
+        }
+        if (c.lit('}'))
+            return true;
+        if (!c.lit(','))
+            return false;
+    }
+}
+
+bool
+parseEventLine(const char *begin, const char *end, RawTraceEvent &ev)
+{
+    Cursor c{begin, end};
+    if (!c.lit('{'))
+        return false;
+    std::string key;
+    std::string sval;
+    for (;;) {
+        if (!c.str(key) || !c.lit(':'))
+            return false;
+        if (key == "args") {
+            if (!parseArgs(c, ev))
+                return false;
+        } else if (!c.done() && *c.p == '"') {
+            if (!c.str(sval))
+                return false;
+            if (key == "name")
+                ev.name = sval;
+            else if (key == "ph" && sval.size() == 1)
+                ev.ph = sval[0];
+            // "s" and "cat" are presentation-only; accept and drop.
+        } else {
+            double v = 0.0;
+            if (!c.num(v))
+                return false;
+            if (key == "pid")
+                ev.pid = static_cast<int>(v);
+            else if (key == "id")
+                ev.id = static_cast<std::uint64_t>(v);
+            else if (key == "ts")
+                ev.tsUs = v;
+            else if (key == "dur")
+                ev.durUs = v;
+            // "tid" is always 0; accept and drop.
+        }
+        if (c.lit('}'))
+            return c.done();
+        if (!c.lit(','))
+            return false;
+    }
+}
+
+bool
+knownEvent(const RawTraceEvent &ev)
+{
+    switch (ev.ph) {
+    case 'M':
+        return ev.name == "process_name";
+    case 'b':
+    case 'e':
+        // Async span edges carry the request's task name, which is
+        // free-form; the phase alone identifies them.
+        return true;
+    case 'i':
+        return ev.name == "requeue" || ev.name == "dispatch" ||
+               ev.name == "admit" || ev.name == "defer" ||
+               ev.name == "reject" || ev.name == "preempt" ||
+               ev.name == "first_token" || ev.name == "slo";
+    case 'X':
+        return ev.name == "prefill" || ev.name == "decode";
+    case 'C':
+        return ev.name == "kv_bytes" || ev.name == "queue_depth" ||
+               ev.name == "batch" || ev.name == "refresh_J" ||
+               ev.name == "kv_pages_free" ||
+               ev.name == "kv_pages_shared" ||
+               ev.name == "kv_prefix_hit_tokens";
+    default:
+        return false;
+    }
+}
+
+double
+argOr(const RawTraceEvent &ev, const char *key, double def)
+{
+    const auto it = ev.args.find(key);
+    return it == ev.args.end() ? def : it->second;
+}
+
+/**
+ * Lifecycle order at equal timestamps. The file is grouped by track,
+ * not globally time-sorted, so each request's events are re-sorted by
+ * (ts, rank); the rank breaks the same-instant chains a preemption
+ * produces (preempt -> requeue -> dispatch -> second admission all
+ * share one sim time).
+ */
+int
+lifecycleRank(const RawTraceEvent &ev)
+{
+    if (ev.ph == 'b')
+        return 0;
+    if (ev.ph == 'e')
+        return 9;
+    if (ev.name == "slo")
+        return 1;
+    if (ev.name == "dispatch")
+        return 2;
+    if (ev.name == "requeue")
+        return 3;
+    if (ev.name == "defer")
+        return 4;
+    if (ev.name == "admit")
+        return 5;
+    if (ev.name == "first_token")
+        return 6;
+    if (ev.name == "preempt")
+        return 7;
+    return 8; // reject
+}
+
+/** Decode-membership order at equal timestamps: a request that left
+ *  at t is out of the slice that starts at t; one that joined at t is
+ *  in it. */
+enum MemberOp
+{
+    kRemove = 0,
+    kAdd = 1,
+    kSlice = 2,
+};
+
+struct MemberEvent
+{
+    double tsUs = 0.0;
+    int op = kSlice;
+    std::uint64_t req = 0; ///< kRemove / kAdd
+    double durUs = 0.0;    ///< kSlice
+    double batch = 0.0;    ///< kSlice
+};
+
+} // namespace
+
+bool
+TraceReader::parse(const std::string &json)
+{
+    stats_ = Stats{};
+    events_.clear();
+
+    // Header is two fixed lines, footer one; events are one object
+    // per line with the separating comma ending the previous line.
+    std::vector<std::pair<const char *, const char *>> lines;
+    const char *p = json.data();
+    const char *end = p + json.size();
+    while (p < end) {
+        const char *nl = static_cast<const char *>(
+            std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+        const char *stop = nl == nullptr ? end : nl;
+        if (stop > p)
+            lines.emplace_back(p, stop);
+        p = stop + 1;
+    }
+    if (lines.size() < 3)
+        return false;
+    const auto lineIs = [&lines](std::size_t i, const char *want) {
+        const std::size_t n = std::strlen(want);
+        return static_cast<std::size_t>(lines[i].second -
+                                        lines[i].first) == n &&
+               std::memcmp(lines[i].first, want, n) == 0;
+    };
+    if (!lineIs(0, "{\"displayTimeUnit\":\"ms\",") ||
+        !lineIs(1, "\"traceEvents\":[") ||
+        !lineIs(lines.size() - 1, "]}"))
+        return false;
+
+    events_.reserve(lines.size() - 3);
+    for (std::size_t i = 2; i + 1 < lines.size(); ++i) {
+        const char *b = lines[i].first;
+        const char *e = lines[i].second;
+        if (e > b && e[-1] == ',')
+            --e;
+        RawTraceEvent ev;
+        if (!parseEventLine(b, e, ev)) {
+            ++stats_.malformed;
+            continue;
+        }
+        ++stats_.events;
+        if (!knownEvent(ev))
+            ++stats_.unknown;
+        events_.push_back(std::move(ev));
+    }
+
+    buildModel();
+    return true;
+}
+
+void
+TraceReader::buildModel()
+{
+    processNames_.clear();
+    requests_.clear();
+    devices_.clear();
+    for (std::size_t i = 0; i < kMissCauseCount; ++i)
+        missCounts[i] = 0;
+    for (std::size_t i = 0; i < kLatencyComponentCount; ++i)
+        componentTotalsUs[i] = 0.0;
+    terminal = completed = rejected = misses = 0;
+
+    int maxPid = 0;
+    for (const RawTraceEvent &ev : events_)
+        maxPid = std::max(maxPid, ev.pid);
+    processNames_.assign(static_cast<std::size_t>(maxPid) + 1, "");
+    for (const RawTraceEvent &ev : events_)
+        if (ev.ph == 'M' && ev.name == "process_name")
+            processNames_[static_cast<std::size_t>(ev.pid)] =
+                ev.metaName;
+    devices_.resize(processNames_.empty() ? 0
+                                          : processNames_.size() - 1);
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+        devices_[i].name = processNames_[i + 1];
+
+    // ---- Per-request lifecycle ---------------------------------
+    std::map<std::uint64_t, std::vector<const RawTraceEvent *>> byReq;
+    for (const RawTraceEvent &ev : events_) {
+        if (ev.ph == 'b' || ev.ph == 'e') {
+            byReq[ev.id].push_back(&ev);
+        } else if (ev.ph == 'i') {
+            byReq[static_cast<std::uint64_t>(argOr(ev, "req", 0.0))]
+                .push_back(&ev);
+        }
+    }
+
+    std::map<std::uint64_t, RequestLife> lives;
+    for (auto &kv : byReq) {
+        std::vector<const RawTraceEvent *> &evs = kv.second;
+        std::stable_sort(
+            evs.begin(), evs.end(),
+            [](const RawTraceEvent *a, const RawTraceEvent *b) {
+                if (a->tsUs != b->tsUs)
+                    return a->tsUs < b->tsUs;
+                return lifecycleRank(*a) < lifecycleRank(*b);
+            });
+        RequestLife r;
+        r.id = kv.first;
+        for (const RawTraceEvent *ev : evs) {
+            if (ev->ph == 'b') {
+                if (r.arrivalUs < 0.0) {
+                    r.arrivalUs = ev->tsUs;
+                    r.task = ev->name;
+                }
+            } else if (ev->ph == 'e') {
+                r.endUs = ev->tsUs;
+                if (ev->outcomeRejected) {
+                    r.rejected = true;
+                } else {
+                    r.completed = true;
+                    r.tokens = argOr(*ev, "tokens", 0.0);
+                }
+            } else if (ev->name == "slo") {
+                r.hasSlo = true;
+                r.ttftDeadlineSec = argOr(*ev, "ttft_deadline_s", 0.0);
+                r.tpotTargetSec = argOr(*ev, "tpot_target_s", 0.0);
+            } else if (ev->name == "defer") {
+                // First-life deferrals only: a second-life deferral
+                // (after the first admission) lives inside c7.
+                if (r.admitUs < 0.0 && r.firstDeferUs < 0.0) {
+                    r.deferred = true;
+                    r.firstDeferUs = ev->tsUs;
+                }
+            } else if (ev->name == "admit") {
+                if (r.admitUs < 0.0) {
+                    r.admitUs = ev->tsUs;
+                    r.firstDevice = ev->pid;
+                }
+                r.device = ev->pid;
+            } else if (ev->name == "first_token") {
+                if (r.firstTokenUs < 0.0)
+                    r.firstTokenUs = ev->tsUs;
+                else
+                    r.resumeUs = ev->tsUs;
+            } else if (ev->name == "preempt") {
+                if (!r.preempted) {
+                    r.preempted = true;
+                    r.preemptUs = ev->tsUs;
+                }
+            } else if (ev->name == "reject") {
+                r.device = ev->pid;
+            }
+            // dispatch / requeue carry no lifecycle state.
+        }
+        lives.emplace(kv.first, std::move(r));
+    }
+
+    // ---- Prefill attribution (first-life chunks only) ----------
+    for (const RawTraceEvent &ev : events_) {
+        if (ev.ph != 'X')
+            continue;
+        TraceDeviceSummary *dev =
+            ev.pid >= 1 && static_cast<std::size_t>(ev.pid) <=
+                               devices_.size()
+                ? &devices_[static_cast<std::size_t>(ev.pid) - 1]
+                : nullptr;
+        if (dev != nullptr)
+            dev->busyUs += ev.durUs;
+        if (ev.name == "prefill") {
+            if (dev != nullptr)
+                ++dev->prefillSlices;
+            const auto it = lives.find(
+                static_cast<std::uint64_t>(argOr(ev, "req", 0.0)));
+            if (it == lives.end())
+                continue;
+            RequestLife &r = it->second;
+            // Second-life re-prefill (at or after the preemption
+            // stamp) is part of preempt loss, not c3.
+            if (!r.preempted || ev.tsUs < r.preemptUs)
+                r.componentsUs[static_cast<std::size_t>(
+                    LatencyComponent::PrefillCompute)] += ev.durUs;
+        } else if (dev != nullptr) {
+            ++dev->decodeSlices;
+        }
+    }
+
+    // ---- Decode fair shares via per-device membership replay ---
+    std::map<int, std::vector<MemberEvent>> byDevice;
+    for (const RawTraceEvent &ev : events_) {
+        if (ev.ph == 'X' && ev.name == "decode") {
+            MemberEvent m;
+            m.tsUs = ev.tsUs;
+            m.op = kSlice;
+            m.durUs = ev.durUs;
+            m.batch = argOr(ev, "batch", 1.0);
+            byDevice[ev.pid].push_back(m);
+        } else if (ev.ph == 'i' && (ev.name == "first_token" ||
+                                    ev.name == "preempt")) {
+            MemberEvent m;
+            m.tsUs = ev.tsUs;
+            m.op = ev.name == "preempt" ? kRemove : kAdd;
+            m.req =
+                static_cast<std::uint64_t>(argOr(ev, "req", 0.0));
+            byDevice[ev.pid].push_back(m);
+        }
+    }
+    for (const auto &kv : lives) {
+        const RequestLife &r = kv.second;
+        if (!r.completed)
+            continue;
+        MemberEvent m;
+        m.tsUs = r.endUs;
+        m.op = kRemove;
+        m.req = r.id;
+        byDevice[r.device].push_back(m);
+    }
+    for (auto &kv : byDevice) {
+        std::vector<MemberEvent> &evs = kv.second;
+        std::stable_sort(evs.begin(), evs.end(),
+                         [](const MemberEvent &a, const MemberEvent &b) {
+                             if (a.tsUs != b.tsUs)
+                                 return a.tsUs < b.tsUs;
+                             return a.op < b.op;
+                         });
+        std::vector<std::uint64_t> members;
+        for (const MemberEvent &m : evs) {
+            if (m.op == kAdd) {
+                members.push_back(m.req);
+            } else if (m.op == kRemove) {
+                const auto it = std::find(members.begin(),
+                                          members.end(), m.req);
+                if (it != members.end())
+                    members.erase(it);
+            } else {
+                if (static_cast<double>(members.size()) != m.batch)
+                    ++stats_.batchMismatches;
+                const double batch = m.batch > 0.0 ? m.batch : 1.0;
+                const double fair = m.durUs / batch;
+                for (std::uint64_t req : members) {
+                    const auto it = lives.find(req);
+                    if (it == lives.end())
+                        continue;
+                    double *c = it->second.componentsUs;
+                    c[static_cast<std::size_t>(
+                        LatencyComponent::DecodeCompute)] += fair;
+                    c[static_cast<std::size_t>(
+                        LatencyComponent::BatchInterference)] +=
+                        m.durUs - fair;
+                }
+            }
+        }
+    }
+
+    // ---- Waterfalls (µs space, same closure as the online path) -
+    for (auto &kv : lives) {
+        RequestLife &r = kv.second;
+        if (!r.terminal())
+            continue;
+        double *c = r.componentsUs;
+        const auto ix = [](LatencyComponent comp) {
+            return static_cast<std::size_t>(comp);
+        };
+        if (r.rejected) {
+            for (std::size_t i = 0; i < kLatencyComponentCount; ++i)
+                c[i] = 0.0;
+            c[ix(LatencyComponent::QueueWait)] = r.endUs - r.arrivalUs;
+            r.ttftUs = c[ix(LatencyComponent::QueueWait)];
+            r.e2eUs = c[ix(LatencyComponent::QueueWait)];
+        } else {
+            r.ttftUs = r.firstTokenUs - r.arrivalUs;
+            r.e2eUs = r.endUs - r.arrivalUs;
+            const double verdictUs =
+                r.deferred ? r.firstDeferUs : r.admitUs;
+            c[ix(LatencyComponent::QueueWait)] =
+                verdictUs - r.arrivalUs;
+            c[ix(LatencyComponent::KvStall)] =
+                r.deferred ? r.admitUs - r.firstDeferUs : 0.0;
+            closeFold(r.ttftUs, c,
+                      ix(LatencyComponent::ChunkInterleave));
+            c[ix(LatencyComponent::PreemptLoss)] =
+                r.preempted ? r.resumeUs - r.preemptUs : 0.0;
+            closeFold(r.e2eUs, c, ix(LatencyComponent::DecodeStall));
+        }
+        r.missedTtft = !r.rejected && r.ttftDeadlineSec > 0.0 &&
+                       r.ttftUs > r.ttftDeadlineSec * 1e6;
+        r.missedTpot = false;
+        if (!r.rejected && r.tpotTargetSec > 0.0 && r.tokens > 0.0) {
+            const double tpotUs =
+                (r.endUs - r.firstTokenUs) / r.tokens;
+            r.missedTpot = tpotUs > r.tpotTargetSec * 1e6;
+        }
+        r.cause =
+            classifyMiss(r.rejected, r.missedTtft, r.missedTpot, c);
+
+        // ---- Roll-ups ------------------------------------------
+        ++terminal;
+        if (r.rejected)
+            ++rejected;
+        else
+            ++completed;
+        ++missCounts[static_cast<std::size_t>(r.cause)];
+        if (r.cause != MissCause::None)
+            ++misses;
+        for (std::size_t i = 0; i < kLatencyComponentCount; ++i)
+            componentTotalsUs[i] += c[i];
+        if (r.device >= 1 &&
+            static_cast<std::size_t>(r.device) <= devices_.size()) {
+            TraceDeviceSummary &dev =
+                devices_[static_cast<std::size_t>(r.device) - 1];
+            if (r.rejected)
+                ++dev.rejected;
+            else
+                ++dev.completed;
+            ++dev.missCounts[static_cast<std::size_t>(r.cause)];
+            if (r.cause != MissCause::None)
+                ++dev.misses;
+            for (std::size_t i = 0; i < kLatencyComponentCount; ++i)
+                dev.componentTotalsUs[i] += c[i];
+        }
+    }
+
+    requests_.reserve(lives.size());
+    for (auto &kv : lives)
+        requests_.push_back(std::move(kv.second));
+}
+
+} // namespace obs
+} // namespace kelle

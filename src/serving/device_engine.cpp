@@ -134,11 +134,22 @@ DeviceEngine::enqueue(std::size_t idx)
     metrics_.sampleQueueDepth(waiting_.size());
     if (trace_ != nullptr) {
         const Request &r = requests_[idx];
-        if (r.preemptions == 0)
+        if (r.preemptions == 0) {
             trace_->requestArrived(queue_.now(), r.id, r.task.name);
-        else
+            // SLO targets ride the trace only when attribution is on,
+            // so pre-attribution trace digests stay byte-identical.
+            if (wf_ != nullptr)
+                trace_->sloTarget(queue_.now(), r.id,
+                                  r.ttftDeadlineSec, r.tpotTargetSec);
+        } else {
             trace_->requestRequeued(queue_.now(), r.id);
+        }
         trace_->queueDepth(queue_.now(), waiting_.size());
+    }
+    if (wf_ != nullptr && requests_[idx].preemptions == 0) {
+        const Request &r = requests_[idx];
+        wf_->onArrival(idx, r.id, queue_.now(), r.ttftDeadlineSec,
+                       r.tpotTargetSec, r.task.decLen);
     }
     if (cfg_.verbose) {
         const Request &r = requests_[idx];
@@ -223,6 +234,8 @@ DeviceEngine::preemptDoomed()
         r.budgetGranted = 0;
         r.kvBytesReserved = 0.0;
         metrics_.onPreempted();
+        if (wf_ != nullptr)
+            wf_->onPreempt(idx, queue_.now());
         if (trace_ != nullptr) {
             trace_->preempted(queue_.now(), r.id);
             trace_->kvInUse(queue_.now(), allocator_.inUseBytes());
@@ -314,6 +327,8 @@ DeviceEngine::rejectRequest(std::size_t idx, std::size_t floor_tokens)
     Request &r = requests_[idx];
     r.state = RequestState::Rejected;
     metrics_.onRejected(r);
+    if (wf_ != nullptr)
+        wf_->onRejected(idx, queue_.now(), wfDevice_);
     if (trace_ != nullptr)
         trace_->rejected(queue_.now(), r.id, floor_tokens);
     if (cfg_.verbose)
@@ -368,6 +383,10 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
     if (!grant.admitted) {
         deferScratch_.push_back(
             DeferredAdmit{requested, floor_tokens, r.id});
+        // Second-life deferrals live inside c7 (preempt_loss), so
+        // only first-life ones open the kv_stall interval.
+        if (wf_ != nullptr && r.preemptions == 0)
+            wf_->onDeferred(idx, queue_.now());
         if (trace_ != nullptr)
             trace_->deferred(queue_.now(), r.id, requested,
                              floor_tokens);
@@ -382,8 +401,11 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
     // A re-admitted preemption victim keeps its first-life admission
     // stamp: (admitted - arrival) is the queue-wait metric, and the
     // victim's first life was service, not queue.
-    if (r.preemptions == 0)
+    if (r.preemptions == 0) {
         r.admitted = queue_.now();
+        if (wf_ != nullptr)
+            wf_->onAdmitted(idx, queue_.now());
+    }
     r.budgetRequested = requested;
     r.budgetGranted = grant.budgetTokens;
     r.kvBytesReserved = grant.bytes;
@@ -527,6 +549,9 @@ DeviceEngine::runPrefillChunk(const EngineStepPlan &plan)
         prefillChunkCost(r.prefilled, plan.chunkTokens);
     metrics_.addEnergy(step.energy);
     busy_ = busy_ + step.latency;
+    // Second-life (post-preemption) re-prefill is part of c7, not c3.
+    if (wf_ != nullptr && r.preemptions == 0)
+        wf_->onPrefillChunk(idx, step.latency.sec());
     if (trace_ != nullptr)
         trace_->prefillStep(queue_.now(), step.latency, r.id,
                             plan.chunkTokens,
@@ -556,6 +581,8 @@ DeviceEngine::onPrefillDone()
         if (req.preemptions == 0) {
             req.firstToken = queue_.now();
             req.lastToken = req.firstToken;
+            if (wf_ != nullptr)
+                wf_->onFirstToken(idx, queue_.now());
         } else {
             // Restarted victim: the user saw the first token in its
             // first life; the restart shows up as one long
@@ -564,6 +591,8 @@ DeviceEngine::onPrefillDone()
                 std::max(req.maxTokenGapSec,
                          (queue_.now() - req.lastToken).sec());
             req.lastToken = queue_.now();
+            if (wf_ != nullptr)
+                wf_->onResume(idx, queue_.now());
         }
         running_.push_back(idx);
         ++prefills_;
@@ -778,6 +807,9 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
             if (doomed)
                 break;
             t = tn;
+            // Waterfall shares are charged from the step that just
+            // ended — `step` is re-costed only below.
+            const double ended_step_sec = step->latency.sec();
             std::size_t growth = 0;
             for (std::size_t idx : inFlightBatch_) {
                 Request &r = requests_[idx];
@@ -785,6 +817,10 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
                 r.maxTokenGapSec = std::max(r.maxTokenGapSec,
                                             (t - r.lastToken).sec());
                 r.lastToken = t;
+                if (wf_ != nullptr)
+                    wf_->onDecodeBoundary(
+                        idx, ended_step_sec,
+                        static_cast<double>(batch_size));
                 if (r.task.ctxLen + r.generated < r.budgetGranted)
                     ++growth; // resident grows again next step
             }
@@ -868,18 +904,24 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
                     .count(),
                 fastForwarded_ - ff_before);
     }
+    inFlightStepLatency_ = step->latency;
     queue_.schedule(t + step->latency, [this] { onDecodeDone(); });
 }
 
 void
 DeviceEngine::onDecodeDone()
 {
+    const double step_sec = inFlightStepLatency_.sec();
+    const double batch =
+        static_cast<double>(inFlightBatch_.size());
     for (std::size_t idx : inFlightBatch_) {
         Request &r = requests_[idx];
         ++r.generated;
         r.maxTokenGapSec = std::max(
             r.maxTokenGapSec, (queue_.now() - r.lastToken).sec());
         r.lastToken = queue_.now();
+        if (wf_ != nullptr)
+            wf_->onDecodeBoundary(idx, step_sec, batch);
         if (r.done()) {
             finishRequest(idx);
             running_.erase(
@@ -899,6 +941,8 @@ DeviceEngine::finishRequest(std::size_t idx)
     lastCompletion_ = std::max(lastCompletion_, r.completed);
     allocator_.release(grants_[idx]);
     metrics_.onCompleted(r);
+    if (wf_ != nullptr)
+        wf_->onCompleted(idx, queue_.now(), wfDevice_);
     if (trace_ != nullptr) {
         trace_->completed(queue_.now(), r.id, r.generated);
         trace_->kvInUse(queue_.now(), allocator_.inUseBytes());

@@ -59,6 +59,7 @@
 #include "accel/step_cost_cache.hpp"
 #include "accel/timing_model.hpp"
 #include "model/model_config.hpp"
+#include "obs/attribution.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "serving/engine_step.hpp"
@@ -184,6 +185,20 @@ class DeviceEngine
      */
     void setTrace(obs::TraceTrack *track) { trace_ = track; }
 
+    /**
+     * Attach the run's latency waterfall (obs/attribution.hpp) and
+     * this device's index in it. Null (the default) disables
+     * attribution at the cost of one pointer test per hook — no
+     * allocation, no output perturbation. Set before the first
+     * `enqueue`; the waterfall must outlive the engine.
+     */
+    void
+    setWaterfall(obs::LatencyWaterfall *wf, std::uint32_t device)
+    {
+        wf_ = wf;
+        wfDevice_ = device;
+    }
+
     /** Hand an arrived (or requeued) request to this device. */
     void enqueue(std::size_t idx);
 
@@ -306,6 +321,8 @@ class DeviceEngine
     accel::StepCostCache costCache_;
     Hooks hooks_;
     obs::TraceTrack *trace_ = nullptr; ///< null = tracing off
+    obs::LatencyWaterfall *wf_ = nullptr; ///< null = attribution off
+    std::uint32_t wfDevice_ = 0; ///< this device's waterfall index
     obs::PhaseProfiler *profiler_ = nullptr;
 
     std::vector<KvBudgetAllocator::Grant> grants_;
@@ -331,6 +348,9 @@ class DeviceEngine
     std::vector<std::size_t> victimScratch_;
     std::vector<std::size_t> residentScratch_;
     std::vector<std::size_t> inFlightBatch_; ///< decode members
+    /** Cost of the decode step whose completion event is pending —
+     *  onDecodeDone charges each member's waterfall share from it. */
+    Time inFlightStepLatency_;
     std::size_t inFlightPrefillIdx_ = 0;
     std::size_t inFlightPrefillTokens_ = 0;
     accel::StepReport stepScratch_; ///< fastSim-off cost slot

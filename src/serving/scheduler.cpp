@@ -64,6 +64,8 @@ Scheduler::Scheduler(const ServingConfig &cfg) : cfg_(cfg)
     device_->setHooks(std::move(hooks));
     if (cfg_.trace != nullptr)
         device_->setTrace(cfg_.trace->addDeviceTrack("device"));
+    if (cfg_.waterfall != nullptr)
+        device_->setWaterfall(cfg_.waterfall, 0);
 }
 
 const ServingMetrics &
@@ -112,6 +114,8 @@ Scheduler::run()
             cfg_.profiler, obs::PhaseProfiler::Phase::TraceGen);
         requests_ = generateTrace(cfg_.traffic);
     }
+    if (cfg_.waterfall != nullptr)
+        cfg_.waterfall->beginRun(requests_.size());
     // All arrivals sit in the queue up front; one in-flight step and
     // the occasional requeue ride on top.
     queue_.reserve(requests_.size() + 8);
@@ -131,7 +135,10 @@ Scheduler::run()
     if (device_->lastCompletion().sec() > 0.0)
         makespan = device_->lastCompletion() -
                    requests_.front().arrival;
-    return deviceReport(*device_, makespan);
+    ServingReport rep = deviceReport(*device_, makespan);
+    if (cfg_.waterfall != nullptr)
+        rep.attribution = cfg_.waterfall->report(1);
+    return rep;
 }
 
 } // namespace serving

@@ -99,6 +99,16 @@ struct ServingConfig
      * Use one recorder per run; it must outlive the engine.
      */
     obs::TraceRecorder *trace = nullptr;
+    /**
+     * SLO root-cause attribution (obs/attribution.hpp): the owner
+     * sizes the waterfall for the generated trace and every device
+     * engine stamps its requests' latency components and miss causes
+     * into it; the roll-up lands in `ServingReport::attribution`.
+     * Null (the default) disables attribution with zero cost and zero
+     * output perturbation. One waterfall per run; it must outlive the
+     * engine.
+     */
+    obs::LatencyWaterfall *waterfall = nullptr;
     /** Wall-clock phase profiling (obs/profile.hpp); null = off. */
     obs::PhaseProfiler *profiler = nullptr;
 };
@@ -139,6 +149,8 @@ struct ServingReport
      *  the resident-token capacity metric of the paged benches. */
     std::size_t peakLogicalTokens = 0;
     PagedPoolStats paged;
+    /** Latency-waterfall roll-up (empty when attribution is off). */
+    obs::AttributionReport attribution;
     /** False when maxEngineSteps truncated the run. */
     bool drained = true;
 };

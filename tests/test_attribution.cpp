@@ -1,0 +1,559 @@
+/**
+ * @file
+ * The SLO root-cause attribution layer's contracts (obs/attribution,
+ * obs/trace_reader):
+ *
+ *  - AttributionMath: `exactRemainder` really is the bitwise fixpoint
+ *    of the fold identity, and `classifyMiss` implements the bucket
+ *    mapping and tie-break order the docs promise.
+ *  - WaterfallInvariants: for EVERY terminal request across policy x
+ *    chunking x paged x dispatch x preempt sweeps, the first four
+ *    components fold *bitwise* to the measured TTFT and all eight to
+ *    the measured E2E; rejects are pure queue wait; report roll-ups
+ *    agree with the per-entry table.
+ *  - AttributionDeterminism: the full waterfall table (every stamp,
+ *    component and cause) is bit-identical across ClusterConfig::
+ *    threads {1, 2, 4} and fastSim on/off, and the trace recorded
+ *    with attribution on keeps the same byte-identity.
+ *  - TraceReaderRoundTrip: every trace the engines emit parses with
+ *    zero unknown/malformed events and zero batch mismatches (the
+ *    C++ replacement for the CI jq checks); offline waterfalls obey
+ *    the same bitwise fold identity in microsecond space and agree
+ *    with the online report on terminal/completed/rejected counts;
+ *    corrupted documents are detected, not silently skipped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_engine.hpp"
+#include "obs/attribution.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+#include "serving/scheduler.hpp"
+
+using namespace kelle;
+
+namespace {
+
+// ---- AttributionMath -----------------------------------------------
+
+TEST(AttributionMath, ExactRemainderIsBitwiseFixpoint)
+{
+    // Pairs chosen to make the naive rounded difference miss the
+    // fixpoint by an ulp in at least some cases; the contract is
+    // checked with exact double equality.
+    const double pairs[][2] = {
+        {1.0, 0.1 + 0.2},         {123456.789, 123456.0},
+        {3.0, 3.0},               {1e-9, 1e-10},
+        {17.25, 0.0},             {2.0e3, 1999.9999999999998},
+        {0.30000000000000004, 0.1},
+    };
+    for (const auto &p : pairs) {
+        const double r = obs::exactRemainder(p[0], p[1]);
+        EXPECT_EQ(p[1] + r, p[0]) << "total " << p[0] << " partial "
+                                  << p[1];
+    }
+    // A deterministic pseudo-random sweep over fold closures. The
+    // remainder alone cannot always reach the fixpoint (round-to-even
+    // can park every candidate sum on a midpoint when the partial is
+    // below total/2), so the production path — closeFold, which may
+    // donate an ulp from an earlier component — is what must close
+    // every fold bitwise.
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 1000; ++i) {
+        double c[4] = {};
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        const double total =
+            static_cast<double>(s >> 11) / 9.0e15 * 100.0;
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        c[0] = total * (static_cast<double>(s >> 11) / 9.0e15) * 0.5;
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        c[1] = total * (static_cast<double>(s >> 11) / 9.0e15) * 0.5;
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        c[2] = total * (static_cast<double>(s >> 11) / 9.0e15) * 0.25;
+        obs::closeFold(total, c, 3);
+        ASSERT_EQ(obs::foldComponents(c, 4), total) << "iter " << i;
+    }
+}
+
+TEST(AttributionMath, FoldIsLeftToRight)
+{
+    const double c[obs::kLatencyComponentCount] = {1e-16, 1.0, -1e-16,
+                                                   2.0,   0.5, 0.25,
+                                                   0.125, 0.0625};
+    double s = 0.0;
+    for (std::size_t i = 0; i < obs::kLatencyComponentCount; ++i) {
+        s += c[i];
+        EXPECT_EQ(obs::foldComponents(c, i + 1), s);
+    }
+}
+
+TEST(AttributionMath, ClassifyMissBucketsAndTieBreaks)
+{
+    using obs::MissCause;
+    double c[obs::kLatencyComponentCount] = {};
+    // Rejected wins over everything.
+    c[0] = 100.0;
+    EXPECT_EQ(obs::classifyMiss(true, true, true, c),
+              MissCause::OverloadReject);
+    // No miss -> None even with big components.
+    EXPECT_EQ(obs::classifyMiss(false, false, false, c),
+              MissCause::None);
+
+    const auto only = [&](std::size_t i, double v) {
+        std::memset(c, 0, sizeof c);
+        c[i] = v;
+    };
+    // TTFT miss: queue_wait -> Queue, kv_stall -> KvPressure,
+    // chunk_interleave -> Interference, prefill_compute -> Compute.
+    only(0, 5.0);
+    EXPECT_EQ(obs::classifyMiss(false, true, false, c),
+              MissCause::Queue);
+    only(1, 5.0);
+    EXPECT_EQ(obs::classifyMiss(false, true, false, c),
+              MissCause::KvPressure);
+    only(3, 5.0);
+    EXPECT_EQ(obs::classifyMiss(false, true, false, c),
+              MissCause::Interference);
+    only(2, 5.0);
+    EXPECT_EQ(obs::classifyMiss(false, true, false, c),
+              MissCause::Compute);
+    // TPOT miss: preempt_loss -> Preempt, decode_compute -> Compute,
+    // batch_interference + decode_stall -> Interference.
+    only(6, 5.0);
+    EXPECT_EQ(obs::classifyMiss(false, false, true, c),
+              MissCause::Preempt);
+    only(4, 5.0);
+    EXPECT_EQ(obs::classifyMiss(false, false, true, c),
+              MissCause::Compute);
+    std::memset(c, 0, sizeof c);
+    c[5] = 2.0;
+    c[7] = 2.0;
+    c[6] = 3.9; // loses to 2 + 2 interference
+    EXPECT_EQ(obs::classifyMiss(false, false, true, c),
+              MissCause::Interference);
+    // A TPOT-only miss must not be blamed on pre-first-token time.
+    std::memset(c, 0, sizeof c);
+    c[0] = 100.0; // enormous queue wait, but TTFT was met
+    c[4] = 1.0;
+    EXPECT_EQ(obs::classifyMiss(false, false, true, c),
+              MissCause::Compute);
+    // Exact tie -> earliest in (queue, kv, interference, preempt,
+    // compute) order.
+    std::memset(c, 0, sizeof c);
+    c[0] = 2.0;
+    c[1] = 2.0;
+    EXPECT_EQ(obs::classifyMiss(false, true, false, c),
+              MissCause::Queue);
+}
+
+// ---- Shared run helpers --------------------------------------------
+
+/** Single-device serving run with attribution attached; the small
+ *  pool forces deferrals so c2 is exercised. */
+serving::ServingReport
+runServing(obs::LatencyWaterfall &wf, serving::SchedulePolicy policy,
+           std::size_t chunk_tokens, bool paged, std::size_t sessions)
+{
+    serving::ServingConfig cfg;
+    cfg.traffic.ratePerSec = 0.05;
+    cfg.traffic.numRequests = 16;
+    cfg.traffic.seed = 42;
+    cfg.traffic.sessions = sessions;
+    cfg.policy = policy;
+    cfg.chunkTokens = chunk_tokens;
+    cfg.paged.enabled = paged;
+    cfg.poolTokens = 6144;
+    cfg.maxBatch = 8;
+    cfg.waterfall = &wf;
+    serving::Scheduler engine(cfg);
+    return engine.run();
+}
+
+/** 2-device hetero cluster run with attribution attached. The
+ *  preempt variant mirrors the bench preemption study: a TPOT target
+ *  near the achievable mean plus quartered KV pools, so decodes
+ *  actually become doomed and reclamation fires. */
+cluster::ClusterReport
+runCluster(obs::LatencyWaterfall &wf, cluster::DispatchKind dispatch,
+           bool preempt, std::size_t threads, bool fast_sim,
+           obs::TraceRecorder *rec = nullptr)
+{
+    cluster::ClusterConfig cfg;
+    cfg.engine.traffic.ratePerSec = preempt ? 0.08 : 0.05;
+    cfg.engine.traffic.numRequests = 14;
+    cfg.engine.traffic.seed = 42;
+    cfg.engine.fastSim = fast_sim;
+    cfg.engine.preempt.enabled = preempt;
+    cfg.engine.waterfall = &wf;
+    cfg.engine.trace = rec;
+    cfg.dispatch = dispatch;
+    cfg.devices = cluster::heteroEdramSramFleet(2, 2048, 8192, 4096, 8);
+    if (preempt) {
+        cfg.engine.traffic.slo.tpotSec = 0.15;
+        for (auto &d : cfg.devices)
+            d.poolTokens = std::max<std::size_t>(1, d.poolTokens / 4);
+    }
+    cfg.threads = threads;
+    cluster::ClusterEngine engine(cfg);
+    return engine.run();
+}
+
+/** The bitwise fold identity plus structural sanity, per entry. */
+void
+checkEntries(const obs::LatencyWaterfall &wf, const char *what)
+{
+    std::size_t terminal = 0;
+    for (const obs::WaterfallEntry &e : wf.entries()) {
+        if (!e.terminal)
+            continue;
+        ++terminal;
+        const double *c = e.components;
+        EXPECT_EQ(obs::foldComponents(c, 4), e.ttftSec)
+            << what << " req " << e.reqId;
+        EXPECT_EQ(obs::foldComponents(c, obs::kLatencyComponentCount),
+                  e.e2eSec)
+            << what << " req " << e.reqId;
+        if (e.rejected) {
+            EXPECT_EQ(e.cause, obs::MissCause::OverloadReject);
+            for (std::size_t i = 1; i < obs::kLatencyComponentCount;
+                 ++i)
+                EXPECT_EQ(c[i], 0.0) << what << " req " << e.reqId;
+        } else {
+            EXPECT_GE(e.e2eSec, e.ttftSec) << what << " req " << e.reqId;
+            EXPECT_EQ(e.cause == obs::MissCause::None,
+                      !e.missedTtft && !e.missedTpot)
+                << what << " req " << e.reqId;
+        }
+        if (!e.deferred) {
+            EXPECT_EQ(c[1], 0.0);
+        }
+        if (!e.preempted) {
+            EXPECT_EQ(c[6], 0.0);
+        }
+    }
+    EXPECT_GT(terminal, 0u) << what;
+}
+
+/** Report roll-up must agree with an index-order re-accumulation. */
+void
+checkReportAgainstEntries(const obs::LatencyWaterfall &wf,
+                          const obs::AttributionReport &rep)
+{
+    obs::AttributionReport want;
+    std::size_t misses = 0;
+    for (const obs::WaterfallEntry &e : wf.entries()) {
+        if (!e.terminal)
+            continue;
+        ++want.terminal;
+        for (std::size_t i = 0; i < obs::kLatencyComponentCount; ++i)
+            want.componentTotals[i] += e.components[i];
+        ++want.missCounts[static_cast<std::size_t>(e.cause)];
+        if (e.cause != obs::MissCause::None)
+            ++misses;
+    }
+    EXPECT_EQ(rep.terminal, want.terminal);
+    EXPECT_EQ(rep.misses, misses);
+    EXPECT_EQ(rep.completed + rep.rejected, rep.terminal);
+    for (std::size_t i = 0; i < obs::kLatencyComponentCount; ++i)
+        EXPECT_EQ(rep.componentTotals[i], want.componentTotals[i]);
+    for (std::size_t i = 0; i < obs::kMissCauseCount; ++i)
+        EXPECT_EQ(rep.missCounts[i], want.missCounts[i]);
+    // Per-device slices partition the aggregate exactly.
+    std::size_t dev_terminal = 0;
+    for (const auto &d : rep.devices)
+        dev_terminal += d.terminal;
+    EXPECT_EQ(dev_terminal, rep.terminal);
+}
+
+// ---- WaterfallInvariants -------------------------------------------
+
+TEST(WaterfallInvariants, EveryPolicySumsBitwise)
+{
+    for (serving::SchedulePolicy policy :
+         serving::allSchedulePolicies()) {
+        for (std::size_t chunk : {std::size_t{0}, std::size_t{256}}) {
+            obs::LatencyWaterfall wf;
+            const serving::ServingReport rep =
+                runServing(wf, policy, chunk, false, 0);
+            const std::string what = toString(policy) + "/chunk" +
+                                     std::to_string(chunk);
+            checkEntries(wf, what.c_str());
+            checkReportAgainstEntries(wf, rep.attribution);
+        }
+    }
+}
+
+TEST(WaterfallInvariants, PagedSessionsSumBitwise)
+{
+    obs::LatencyWaterfall wf;
+    const serving::ServingReport rep = runServing(
+        wf, serving::SchedulePolicy::ContinuousBatching, 0, true, 4);
+    checkEntries(wf, "paged+sessions");
+    checkReportAgainstEntries(wf, rep.attribution);
+    EXPECT_TRUE(rep.paged.enabled);
+}
+
+TEST(WaterfallInvariants, ClusterDispatchAndPreemptSumBitwise)
+{
+    for (cluster::DispatchKind dispatch :
+         {cluster::DispatchKind::RoundRobin,
+          cluster::DispatchKind::JoinShortestKv,
+          cluster::DispatchKind::DeadlineAware}) {
+        for (bool preempt : {false, true}) {
+            obs::LatencyWaterfall wf;
+            const cluster::ClusterReport rep =
+                runCluster(wf, dispatch, preempt, 1, true);
+            const std::string what =
+                toString(dispatch) + (preempt ? "/preempt" : "");
+            checkEntries(wf, what.c_str());
+            checkReportAgainstEntries(
+                wf, rep.aggregate.attribution);
+        }
+    }
+}
+
+TEST(WaterfallInvariants, PreemptedVictimChargesPreemptLoss)
+{
+    // The preempt config really preempts (otherwise the sweep above
+    // never exercises c7): at least one terminal entry must carry a
+    // positive preempt_loss that still folds exactly. RoundRobin is
+    // the dispatch that actually overloads a device at this rate
+    // (JoinShortestKv balances its way out of preempting).
+    obs::LatencyWaterfall wf;
+    const cluster::ClusterReport rep = runCluster(
+        wf, cluster::DispatchKind::RoundRobin, true, 1, true);
+    EXPECT_GT(rep.aggregate.summary.preemptions, 0u);
+    bool saw_preempted = false;
+    for (const obs::WaterfallEntry &e : wf.entries()) {
+        if (!e.terminal || !e.preempted || e.rejected)
+            continue;
+        saw_preempted = true;
+        EXPECT_GT(e.components[6], 0.0);
+    }
+    EXPECT_TRUE(saw_preempted);
+}
+
+TEST(WaterfallInvariants, DeferralsChargeKvStall)
+{
+    // The tight pool defers admissions; every deferred completion
+    // charges a positive kv_stall.
+    obs::LatencyWaterfall wf;
+    const serving::ServingReport rep = runServing(
+        wf, serving::SchedulePolicy::ContinuousBatching, 0, false, 0);
+    EXPECT_GT(rep.deferrals, 0u);
+    bool saw_stall = false;
+    for (const obs::WaterfallEntry &e : wf.entries()) {
+        if (e.terminal && e.deferred && !e.rejected) {
+            EXPECT_GE(e.components[1], 0.0);
+            saw_stall = saw_stall || e.components[1] > 0.0;
+        }
+    }
+    EXPECT_TRUE(saw_stall);
+}
+
+// ---- AttributionDeterminism ----------------------------------------
+
+/** Every stamp/component/cause of every terminal entry, %.17g. */
+std::string
+dumpEntries(const obs::LatencyWaterfall &wf)
+{
+    std::string out;
+    char buf[512];
+    for (const obs::WaterfallEntry &e : wf.entries()) {
+        std::snprintf(
+            buf, sizeof buf,
+            "req %llu dev %u t%d r%d d%d p%d mt%d mp%d cause %s "
+            "ttft %.17g e2e %.17g |",
+            static_cast<unsigned long long>(e.reqId), e.device,
+            e.terminal, e.rejected, e.deferred, e.preempted,
+            e.missedTtft, e.missedTpot, obs::toString(e.cause),
+            e.ttftSec, e.e2eSec);
+        out += buf;
+        for (std::size_t i = 0; i < obs::kLatencyComponentCount; ++i) {
+            std::snprintf(buf, sizeof buf, " %.17g", e.components[i]);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(AttributionDeterminism, WaterfallBitIdenticalAcrossThreads)
+{
+    obs::LatencyWaterfall serial;
+    runCluster(serial, cluster::DispatchKind::RoundRobin, true, 1,
+               true);
+    const std::string want = dumpEntries(serial);
+    EXPECT_FALSE(want.empty());
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        obs::LatencyWaterfall wf;
+        runCluster(wf, cluster::DispatchKind::RoundRobin, true,
+                   threads, true);
+        EXPECT_EQ(dumpEntries(wf), want) << threads << " threads";
+    }
+}
+
+TEST(AttributionDeterminism, WaterfallBitIdenticalAcrossFastSim)
+{
+    obs::LatencyWaterfall fast;
+    runCluster(fast, cluster::DispatchKind::RoundRobin, true, 1,
+               true);
+    obs::LatencyWaterfall slow;
+    runCluster(slow, cluster::DispatchKind::RoundRobin, true, 1,
+               false);
+    EXPECT_EQ(dumpEntries(fast), dumpEntries(slow));
+}
+
+TEST(AttributionDeterminism, TracedRunStaysByteIdentical)
+{
+    // Attribution adds slo instants to the trace; the enriched trace
+    // must ride the same byte-identity contract as the bare one.
+    obs::TraceRecorder serial_rec;
+    obs::LatencyWaterfall serial_wf;
+    runCluster(serial_wf, cluster::DispatchKind::RoundRobin, true,
+               1, true, &serial_rec);
+    const std::string want = serial_rec.toJson();
+    EXPECT_NE(want.find("\"slo\""), std::string::npos);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        obs::TraceRecorder rec;
+        obs::LatencyWaterfall wf;
+        runCluster(wf, cluster::DispatchKind::RoundRobin, true,
+                   threads, true, &rec);
+        EXPECT_EQ(rec.toJson(), want) << threads << " threads";
+    }
+    obs::TraceRecorder slow_rec;
+    obs::LatencyWaterfall slow_wf;
+    runCluster(slow_wf, cluster::DispatchKind::RoundRobin, true, 1,
+               false, &slow_rec);
+    EXPECT_EQ(slow_rec.toJson(), want) << "fastSim off";
+}
+
+// ---- TraceReaderRoundTrip ------------------------------------------
+
+void
+expectCleanParse(const std::string &json, const char *what)
+{
+    obs::TraceReader reader;
+    ASSERT_TRUE(reader.parse(json)) << what;
+    EXPECT_GT(reader.stats().events, 0u) << what;
+    EXPECT_EQ(reader.stats().unknown, 0u) << what;
+    EXPECT_EQ(reader.stats().malformed, 0u) << what;
+    EXPECT_EQ(reader.stats().batchMismatches, 0u) << what;
+}
+
+TEST(TraceReaderRoundTrip, EveryRecordedTraceParsesClean)
+{
+    // Cluster with preemption + attribution (slo instants included).
+    {
+        obs::TraceRecorder rec;
+        obs::LatencyWaterfall wf;
+        runCluster(wf, cluster::DispatchKind::RoundRobin, true, 1,
+                   true, &rec);
+        expectCleanParse(rec.toJson(), "cluster preempt");
+    }
+    // Chunked single-device serving (prefill slices interleave).
+    {
+        serving::ServingConfig cfg;
+        cfg.traffic.ratePerSec = 0.05;
+        cfg.traffic.numRequests = 16;
+        cfg.traffic.seed = 42;
+        cfg.policy = serving::SchedulePolicy::EdfChunked;
+        cfg.chunkTokens = 256;
+        cfg.poolTokens = 6144;
+        cfg.maxBatch = 8;
+        obs::TraceRecorder rec;
+        obs::LatencyWaterfall wf;
+        cfg.trace = &rec;
+        cfg.waterfall = &wf;
+        serving::Scheduler engine(cfg);
+        engine.run();
+        expectCleanParse(rec.toJson(), "edf-chunked");
+    }
+    // Paged + sessions (paged counter tracks in the stream).
+    {
+        serving::ServingConfig cfg;
+        cfg.traffic.ratePerSec = 0.05;
+        cfg.traffic.numRequests = 16;
+        cfg.traffic.seed = 42;
+        cfg.traffic.sessions = 4;
+        cfg.paged.enabled = true;
+        cfg.poolTokens = 6144;
+        cfg.maxBatch = 8;
+        obs::TraceRecorder rec;
+        cfg.trace = &rec;
+        serving::Scheduler engine(cfg);
+        engine.run();
+        expectCleanParse(rec.toJson(), "paged sessions");
+    }
+}
+
+TEST(TraceReaderRoundTrip, OfflineWaterfallsFoldBitwise)
+{
+    obs::TraceRecorder rec;
+    obs::LatencyWaterfall wf;
+    const cluster::ClusterReport rep = runCluster(
+        wf, cluster::DispatchKind::RoundRobin, true, 1, true,
+        &rec);
+    obs::TraceReader reader;
+    ASSERT_TRUE(reader.parse(rec.toJson()));
+
+    std::size_t terminal = 0;
+    for (const obs::RequestLife &r : reader.requests()) {
+        if (!r.terminal())
+            continue;
+        ++terminal;
+        EXPECT_EQ(obs::foldComponents(r.componentsUs, 4), r.ttftUs)
+            << "req " << r.id;
+        EXPECT_EQ(obs::foldComponents(r.componentsUs,
+                                      obs::kLatencyComponentCount),
+                  r.e2eUs)
+            << "req " << r.id;
+    }
+    // Offline and online agree on the terminal population (the
+    // waterfalls themselves live in different precisions: sim-time
+    // doubles online, %.3f-rounded microseconds offline).
+    const obs::AttributionReport &online = rep.aggregate.attribution;
+    EXPECT_EQ(terminal, online.terminal);
+    EXPECT_EQ(reader.completed, online.completed);
+    EXPECT_EQ(reader.rejected, online.rejected);
+}
+
+TEST(TraceReaderRoundTrip, CorruptionIsDetected)
+{
+    obs::TraceRecorder rec;
+    obs::LatencyWaterfall wf;
+    runCluster(wf, cluster::DispatchKind::JoinShortestKv, false, 1,
+               true, &rec);
+    const std::string json = rec.toJson();
+
+    // A mangled event line is malformed, not silently dropped.
+    std::string broken = json;
+    const std::size_t ev = broken.find("\"ph\":");
+    ASSERT_NE(ev, std::string::npos);
+    broken[ev] = '#';
+    obs::TraceReader reader;
+    ASSERT_TRUE(reader.parse(broken));
+    EXPECT_GT(reader.stats().malformed, 0u);
+
+    // An off-taxonomy (name, ph) pair counts as unknown.
+    std::string renamed = json;
+    const std::size_t admit = renamed.find("\"admit\"");
+    ASSERT_NE(admit, std::string::npos);
+    renamed.replace(admit, 7, "\"zdmit\"");
+    obs::TraceReader reader2;
+    ASSERT_TRUE(reader2.parse(renamed));
+    EXPECT_GT(reader2.stats().unknown, 0u);
+
+    // A document without the trace header fails the parse outright.
+    obs::TraceReader reader3;
+    EXPECT_FALSE(reader3.parse("{\"not\":\"a trace\"}\n"));
+}
+
+} // namespace

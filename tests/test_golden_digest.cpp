@@ -199,4 +199,99 @@ TEST(GoldenDigest, BenchClusterTraceFile)
     }
 }
 
+TEST(GoldenDigest, BenchClusterAttributionReport)
+{
+    // The attribution tables (latency waterfall + miss causes) ride
+    // the same byte-exactness contract as the rest of the report:
+    // serial and 4-lane runs must print identical bytes, pinned
+    // against the recorded digest. Components are exact decompositions
+    // of deterministic sim times, so a drift here means either a
+    // simulation change (expected to fail the digests above too) or
+    // an attribution regression (fails only here).
+    // The overloaded config (tight pool, tight TPOT target) makes the
+    // breakdown substantive: queue, kv-pressure, preempt and compute
+    // causes all non-zero, preempt_loss carrying real requeue time.
+    const std::string flags = "--devices 2 --hetero --requests 12 "
+                              "--sweep 0 --study 0 --preempt "
+                              "--pool 3072 --rate 0.2 "
+                              "--slo-tpot 0.15 --attribution";
+    expectDigest("bench/bench_cluster", flags, 0x2e8705693d5ceea0ull);
+    expectDigest("bench/bench_cluster", flags + " --threads 4",
+                 0x2e8705693d5ceea0ull);
+}
+
+TEST(GoldenDigest, KelleTraceReportOnRecordedTrace)
+{
+    // End-to-end CLI pinning: record the preempt trace with
+    // attribution (slo instants included), run `kelle_trace report`
+    // over it, and hash the report. Covers the reader's event
+    // taxonomy, the offline waterfall reconstruction and the report
+    // formatting in one digest.
+    const std::string bench = std::string(KELLE_BIN_DIR) +
+                              "/bench/bench_cluster";
+    const std::string cli = std::string(KELLE_BIN_DIR) +
+                            "/tools/kelle_trace";
+    if (!fileExists(bench) || !fileExists(cli))
+        GTEST_SKIP() << "bench_cluster or kelle_trace not built";
+    const std::string trace =
+        std::string(::testing::TempDir()) + "/kelle_attr_trace.json";
+    std::remove(trace.c_str());
+    int exit_code = 0;
+    std::string out = capture(
+        bench + " --devices 2 --hetero --requests 12 --sweep 0 "
+                "--study 0 --preempt --pool 3072 --rate 0.2 "
+                "--slo-tpot 0.15 --attribution --trace-out " + trace,
+        &exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    out = capture(cli + " report " + trace, &exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    // The first line echoes the trace path (environment-dependent);
+    // everything after it is the deterministic report body.
+    const std::size_t body = out.find('\n');
+    ASSERT_NE(body, std::string::npos) << out;
+    const std::uint64_t got = fnv1a64(out.substr(body + 1));
+    EXPECT_EQ(got, 0xc4fa211fcb331ae5ull)
+        << "kelle_trace report output drifted (got 0x" << std::hex
+        << got << ").\nIf the change is deliberate, re-record from "
+           "`kelle_trace report` on the trace this test writes.";
+    std::remove(trace.c_str());
+}
+
+TEST(GoldenDigest, KelleTraceDiffThreadsIsEmpty)
+{
+    // The determinism contract as a user-visible CLI check: traces
+    // recorded at --threads 1 and --threads 4 must byte-compare
+    // identical (`kelle_trace diff` exits 0).
+    const std::string bench = std::string(KELLE_BIN_DIR) +
+                              "/bench/bench_cluster";
+    const std::string cli = std::string(KELLE_BIN_DIR) +
+                            "/tools/kelle_trace";
+    if (!fileExists(bench) || !fileExists(cli))
+        GTEST_SKIP() << "bench_cluster or kelle_trace not built";
+    const std::string flags = "--devices 2 --hetero --requests 12 "
+                              "--sweep 0 --study 0 --preempt "
+                              "--pool 3072 --rate 0.2 "
+                              "--slo-tpot 0.15 --attribution";
+    std::string traces[2];
+    int exit_code = 0;
+    for (int t : {0, 1}) {
+        traces[t] = std::string(::testing::TempDir()) +
+                    "/kelle_diff_t" + (t == 0 ? "1" : "4") + ".json";
+        std::remove(traces[t].c_str());
+        const std::string out = capture(
+            bench + " " + flags + " --threads " +
+                (t == 0 ? "1" : "4") + " --trace-out " + traces[t],
+            &exit_code);
+        ASSERT_EQ(exit_code, 0) << out;
+    }
+    const std::string out =
+        capture(cli + " diff " + traces[0] + " " + traces[1],
+                &exit_code);
+    EXPECT_EQ(exit_code, 0)
+        << "threads 1 vs 4 traces diverge:\n" << out;
+    EXPECT_NE(out.find("identical"), std::string::npos) << out;
+    std::remove(traces[0].c_str());
+    std::remove(traces[1].c_str());
+}
+
 } // namespace

@@ -394,11 +394,37 @@ TEST(MetricsRoundTrip, JsonDumpCarriesSchemaAndSections)
     reg.series("s").push(0.0, 1.0);
     const std::string json = reg.toJson(10.0);
     for (const char *needle :
-         {"\"schema\":\"kelle.metrics/v1\"", "\"scalars\"",
-          "\"histograms\"", "\"series\"", "\"g\"", "\"h\""}) {
+         {"\"schema\":\"kelle.metrics/v2\"", "\"scalars\"",
+          "\"histograms\"", "\"series\"", "\"g\"", "\"h\"",
+          "\"p50\"", "\"p95\"", "\"p99\""}) {
         EXPECT_NE(json.find(needle), std::string::npos)
             << "missing " << needle;
     }
+}
+
+TEST(MetricsRoundTrip, HistogramQuantilesNearestRankOverBinEdges)
+{
+    obs::Histogram h;
+    h.lo = 0.0;
+    h.hi = 10.0;
+    h.bins.assign(10, 0);
+    EXPECT_EQ(h.quantile(0.5), 0.0); // empty
+    for (int i = 0; i < 100; ++i)
+        h.observe(0.1 * static_cast<double>(i)); // [0, 9.9]
+    // Rank 50 lands in bin [4,5): upper edge 5. Rank 95 → bin [9,10)
+    // clamps to max 9.9; p100 = max exactly.
+    EXPECT_EQ(h.quantile(0.50), 5.0);
+    EXPECT_EQ(h.quantile(0.95), 9.9);
+    EXPECT_EQ(h.quantile(1.0), 9.9);
+    // A single observation answers every quantile with itself (the
+    // [min, max] clamp collapses the bin edge to the value).
+    obs::Histogram one;
+    one.lo = 0.0;
+    one.hi = 100.0;
+    one.bins.assign(4, 0);
+    one.observe(3.25);
+    EXPECT_EQ(one.quantile(0.5), 3.25);
+    EXPECT_EQ(one.quantile(0.99), 3.25);
 }
 
 } // namespace
