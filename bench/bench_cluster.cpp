@@ -189,6 +189,17 @@ main(int argc, char **argv)
                  "headline cell: print the SLO miss-cause breakdown, "
                  "add attribution.* metrics to --metrics-out and SLO "
                  "targets to --trace-out");
+    args.addBool("faults", false,
+                 "seeded fault injection (src/faults): crashes, "
+                 "slowdowns and pool shrinks with recovery; adds the "
+                 "fault report and the goodput-vs-availability study");
+    args.addDouble("mtbf", 120.0,
+                   "mean time between faults per device, sim seconds");
+    args.addDouble("mttr", 15.0,
+                   "mean time to recovery per fault, sim seconds");
+    args.addInt("retries", 3,
+                "fault re-dispatch budget per request before a "
+                "permanent failure");
     if (!args.parse(argc, argv))
         return args.exitCode();
 
@@ -232,6 +243,11 @@ main(int argc, char **argv)
     base.engine.maxEngineSteps = args.getSize("steps");
     base.engine.fastSim = args.getBool("fastsim");
     base.threads = args.getSize("threads");
+    base.faults.enabled = args.getBool("faults");
+    base.faults.mtbfSec = args.getDouble("mtbf");
+    base.faults.mttrSec = args.getDouble("mttr");
+    base.faults.maxRetries =
+        static_cast<std::uint32_t>(args.getInt("retries"));
 
     const std::size_t n_devices = args.getSize("devices");
     const std::size_t max_batch = args.getSize("maxbatch");
@@ -310,6 +326,35 @@ main(int argc, char **argv)
                 fleet_metrics.gauge("cluster.load_imbalance_cv", 0.0),
                 2) +
             " (busy fractions are of the cluster makespan)");
+    }
+
+    if (base.faults.enabled) {
+        const cluster::ClusterFaultReport &f = runs.front().faults;
+        const double avail =
+            fleet_metrics.gauge("cluster.availability", 1.0);
+        Table ft({"device", "crashes", "downtime", "down frac"});
+        const double mk =
+            runs.front().aggregate.summary.makespan.sec();
+        for (std::size_t d = 0; d < f.devices.size(); ++d) {
+            ft.addRow(
+                {runs.front().devices[d].name,
+                 std::to_string(f.devices[d].crashes),
+                 toString(Time::seconds(f.devices[d].downtimeSec)),
+                 Table::pct(mk > 0.0 ? f.devices[d].downtimeSec / mk
+                                     : 0.0)});
+        }
+        ft.print(
+            "fault report under " + toString(dispatches.front()) +
+            ": availability " + Table::pct(avail) + ", " +
+            std::to_string(f.crashes) + " crashes / " +
+            std::to_string(f.slowdowns) + " slowdowns / " +
+            std::to_string(f.shrinks) + " pool shrinks, lost " +
+            std::to_string(f.lostTokens) + " KV tokens, " +
+            std::to_string(f.retries) + " retries (" +
+            std::to_string(f.retrySuccesses) + " completed), " +
+            std::to_string(f.shedRequests) + " shed, " +
+            std::to_string(f.permanentFailures) +
+            " permanent failures");
     }
 
     if (attribution) {
@@ -431,6 +476,61 @@ main(int argc, char **argv)
         addClusterRow(pt, "preempt on", pruns[1]);
         pt.print("a doomed decode already misses TPOT; reclaiming "
                  "its grant re-opens the pool to waiting requests");
+    }
+
+    // ---- Fault study: goodput vs availability ---------------------
+    // The robustness trade the injector makes measurable: the same
+    // trace on the same fleet while the per-device MTBF shrinks from
+    // "never fails" to a quarter of the configured value. Goodput
+    // should degrade gracefully with availability (retries recover
+    // crash victims) rather than collapse.
+    if (base.faults.enabled) {
+        const double mtbf = base.faults.mtbfSec;
+        struct FaultCell
+        {
+            std::string label;
+            bool enabled;
+            double mtbfSec;
+        };
+        const std::vector<FaultCell> fcells = {
+            {"off", false, mtbf},
+            {Table::num(mtbf * 4.0, 0) + " s", true, mtbf * 4.0},
+            {Table::num(mtbf, 0) + " s", true, mtbf},
+            {Table::num(mtbf / 4.0, 0) + " s", true, mtbf / 4.0},
+        };
+        std::vector<cluster::ClusterReport> freps(fcells.size());
+        common::parallelFor(fcells.size(), [&](std::size_t i) {
+            cluster::ClusterConfig cfg = base;
+            cfg.faults.enabled = fcells[i].enabled;
+            cfg.faults.mtbfSec = fcells[i].mtbfSec;
+            freps[i] = runCell(cfg, dispatches.front());
+        });
+        bench::banner("Fault study: goodput vs availability (" +
+                      toString(dispatches.front()) + " dispatch, "
+                      "MTTR " + Table::num(base.faults.mttrSec, 0) +
+                      " s, retry budget " +
+                      std::to_string(base.faults.maxRetries) + ")");
+        Table ft({"MTBF", "availability", "done", "failed", "crashes",
+                  "goodput tok/s", "SLO all", "lost tok", "retries"});
+        for (std::size_t i = 0; i < fcells.size(); ++i) {
+            const auto &s = freps[i].aggregate.summary;
+            const cluster::ClusterFaultReport &f = freps[i].faults;
+            const double span =
+                s.makespan.sec() *
+                static_cast<double>(freps[i].devices.size());
+            const double avail =
+                span > 0.0 ? 1.0 - f.totalDowntimeSec / span : 1.0;
+            ft.addRow({fcells[i].label, Table::pct(avail),
+                       std::to_string(s.completed),
+                       std::to_string(f.permanentFailures),
+                       std::to_string(f.crashes),
+                       Table::num(s.goodputTokensPerSec, 1),
+                       Table::pct(s.sloAttainment),
+                       std::to_string(f.lostTokens),
+                       std::to_string(f.retries)});
+        }
+        ft.print("same arrival trace per row; only the fault stream "
+                 "changes");
     }
 
     // ---- Sweep: devices x dispatch x fleet -------------------------

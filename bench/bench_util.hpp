@@ -64,6 +64,12 @@ printAttribution(const obs::AttributionReport &rep,
                              : "device" + std::to_string(d));
     Table causes(std::move(header));
     for (std::size_t i = 0; i < obs::kMissCauseCount; ++i) {
+        // device_fault shows up only on fault runs; skipping the
+        // zero row keeps faults-off tables byte-identical.
+        if (static_cast<obs::MissCause>(i) ==
+                obs::MissCause::DeviceFault &&
+            rep.missCounts[i] == 0)
+            continue;
         std::vector<std::string> row = {
             obs::toString(static_cast<obs::MissCause>(i)),
             std::to_string(rep.missCounts[i])};

@@ -14,8 +14,15 @@
  * devices, and `--preempt` lets a device reclaim the KV grant of a
  * deadline-doomed decode and throw the victim back to the dispatcher.
  *
+ * With `--faults` the session runs on a >= 2-device cluster under
+ * seeded fault injection: the narration shows crashes evicting
+ * in-flight requests, the dispatcher blacklisting the down device,
+ * retries landing the victims on survivors, and the fault report
+ * totals the downtime and lost work.
+ *
  * Try: ./edge_server --rate 0.1 --policy fcfs --seed 7
  *      ./edge_server --devices 2 --hetero --dispatch join-shortest-kv
+ *      ./edge_server --faults --mtbf 40 --mttr 10
  */
 
 #include <algorithm>
@@ -118,6 +125,21 @@ main(int argc, char **argv)
                  "alternate eDRAM/SRAM devices (clusters only)");
     args.addBool("preempt", false,
                  "reclaim KV grants of deadline-doomed decodes");
+    args.addBool("faults", false,
+                 "inject seeded device faults (crash / slowdown / "
+                 "pool shrink with recovery) into the session; "
+                 "forces a cluster of >= 2 devices so the narration "
+                 "shows failover");
+    args.addDouble("mtbf", 40.0,
+                   "mean time between faults per device, sim seconds "
+                   "(with --faults)");
+    args.addDouble("mttr", 10.0,
+                   "mean time to recovery per fault, sim seconds "
+                   "(with --faults)");
+    args.addInt("client-retries", 0,
+                "client-side resubmits of an overload-rejected "
+                "request after a jittered backoff (0 = reject is "
+                "final)");
     args.addString("trace-out", "",
                    "also record the session as Chrome trace-event "
                    "JSON (open in https://ui.perfetto.dev; see "
@@ -140,6 +162,8 @@ main(int argc, char **argv)
     cfg.maxEngineSteps = args.getSize("steps");
     cfg.chunkTokens = args.getSize("chunk-tokens");
     cfg.preempt.enabled = args.getBool("preempt");
+    cfg.clientRetries =
+        static_cast<std::uint32_t>(args.getInt("client-retries"));
     if (!serving::parseSchedulePolicy(args.getString("policy"),
                                       &cfg.policy)) {
         std::fprintf(stderr, "unknown --policy '%s' (%s)\n",
@@ -172,7 +196,12 @@ main(int argc, char **argv)
     if (!trace_out.empty() || !metrics_out.empty())
         cfg.trace = &recorder;
 
-    const std::size_t devices = args.getSize("devices");
+    // Faults need somewhere to fail over to: lift the session onto a
+    // cluster of at least two devices.
+    const bool faults = args.getBool("faults");
+    const std::size_t devices =
+        faults ? std::max<std::size_t>(2, args.getSize("devices"))
+               : args.getSize("devices");
     if (devices <= 1) {
         std::printf("edge_server: %zu requests at %.3f req/s (bursty), "
                     "policy %s, KV pool %zu tokens\n\n",
@@ -212,14 +241,20 @@ main(int argc, char **argv)
             devices, 2048, cfg.poolTokens, cfg.poolTokens / 2,
             cfg.maxBatch);
     }
+    if (faults) {
+        ccfg.faults.enabled = true;
+        ccfg.faults.mtbfSec = args.getDouble("mtbf");
+        ccfg.faults.mttrSec = args.getDouble("mttr");
+    }
 
     std::printf("edge_server: %zu requests at %.3f req/s (bursty) on "
-                "%zu devices (%s), dispatch %s, policy %s%s\n\n",
+                "%zu devices (%s), dispatch %s, policy %s%s%s\n\n",
                 ccfg.engine.traffic.numRequests, ccfg.engine.traffic.ratePerSec,
                 devices, args.getBool("hetero") ? "eDRAM/SRAM" : "eDRAM",
                 toString(dispatch).c_str(),
                 toString(ccfg.engine.policy).c_str(),
-                ccfg.engine.preempt.enabled ? ", preempt-and-requeue on" : "");
+                ccfg.engine.preempt.enabled ? ", preempt-and-requeue on" : "",
+                faults ? ", fault injection on" : "");
 
     cluster::ClusterEngine engine(ccfg);
     const auto rep = engine.run();
@@ -238,6 +273,33 @@ main(int argc, char **argv)
     }
     per_dev.print("per-device breakdown; load imbalance CV " +
                   Table::num(rep.loadImbalanceCv, 2));
+    if (rep.faults.enabled) {
+        const cluster::ClusterFaultReport &f = rep.faults;
+        const double span =
+            rep.aggregate.summary.makespan.sec() *
+            static_cast<double>(rep.devices.size());
+        Table ft({"metric", "value"});
+        ft.addRow({"availability",
+                   Table::pct(span > 0.0
+                                  ? 1.0 - f.totalDowntimeSec / span
+                                  : 1.0)});
+        ft.addRow({"crashes / slowdowns / pool shrinks",
+                   std::to_string(f.crashes) + " / " +
+                       std::to_string(f.slowdowns) + " / " +
+                       std::to_string(f.shrinks)});
+        ft.addRow({"downtime",
+                   toString(Time::seconds(f.totalDowntimeSec))});
+        ft.addRow({"KV tokens lost to crashes",
+                   std::to_string(f.lostTokens)});
+        ft.addRow({"fault retries (completed after retry)",
+                   std::to_string(f.retries) + " (" +
+                       std::to_string(f.retrySuccesses) + ")"});
+        ft.addRow({"requests shed / permanently failed",
+                   std::to_string(f.shedRequests) + " / " +
+                       std::to_string(f.permanentFailures)});
+        std::printf("\n");
+        ft.print("fault report");
+    }
     printSummary(rep.aggregate);
     if (!trace_out.empty() && recorder.writeJson(trace_out))
         std::printf("\nwrote trace: %s (load at "

@@ -11,6 +11,25 @@
 namespace kelle {
 namespace cluster {
 
+namespace {
+
+/**
+ * SplitMix64-style hash of (a, b) to a uniform double in [0, 1) —
+ * the fault-retry backoff jitter. A pure hash instead of a shared RNG
+ * stream, so retries cannot perturb the fault or arrival draws.
+ */
+double
+hashUnit(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
 std::vector<DeviceSpec>
 homogeneousFleet(std::size_t n, const accel::SystemConfig &system,
                  std::size_t pool_tokens, std::size_t max_batch)
@@ -77,6 +96,13 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
     // bit-identical but its log interleaving would not be.
     if (cfg_.engine.verbose)
         threads_ = 1;
+    if (cfg_.faults.enabled) {
+        injector_ = std::make_unique<faults::FaultInjector>(
+            cfg_.faults, cfg_.devices.size());
+        health_.assign(cfg_.devices.size(), DeviceHealth::Healthy);
+        downSince_.assign(cfg_.devices.size(), Time());
+        faultDevs_.resize(cfg_.devices.size());
+    }
     const bool parallel = threads_ > 1;
     if (parallel) {
         localQueues_.reserve(cfg_.devices.size());
@@ -164,6 +190,14 @@ ClusterEngine::ClusterEngine(const ClusterConfig &cfg)
                         ? requests_[arrivalCursor_].arrival
                         : Time::seconds(
                               std::numeric_limits<double>::infinity());
+                // Fault instants and fault re-dispatches reach any
+                // device from outside; neither commutes with a
+                // fast-forward window, whatever the preempt knob.
+                if (injector_ != nullptr) {
+                    bound =
+                        std::min(bound, injector_->nextEventTime());
+                    bound = std::min(bound, nextRetryTime());
+                }
                 if (!cfg_.engine.preempt.enabled)
                     return bound;
                 if (pendingRequeues_ > 0)
@@ -201,9 +235,37 @@ ClusterEngine::statuses()
 std::size_t
 ClusterEngine::pickDevice(std::size_t idx)
 {
-    std::size_t d = dispatch_->pick(requests_[idx], statuses());
-    KELLE_ASSERT(d < devices_.size(),
-                 "dispatch picked a device outside the fleet");
+    std::size_t d;
+    if (downCount_ == 0) {
+        d = dispatch_->pick(requests_[idx], statuses());
+        KELLE_ASSERT(d < devices_.size(),
+                     "dispatch picked a device outside the fleet");
+    } else {
+        // Blacklist: crashed devices never see the status vector, so
+        // no policy can route to them. All down -> the caller parks
+        // the request on the retry path until something recovers.
+        if (downCount_ >= devices_.size())
+            return devices_.size();
+        statusScratch_.clear();
+        upIndexScratch_.clear();
+        for (std::size_t i = 0; i < devices_.size(); ++i) {
+            if (health_[i] == DeviceHealth::Down)
+                continue;
+            DeviceStatus s;
+            s.freeKvBytes = devices_[i]->freeKvBytes();
+            s.kvCapacityBytes =
+                devices_[i]->allocator().capacityBytes();
+            s.waiting = devices_[i]->waitingCount();
+            s.active = devices_[i]->activeCount();
+            statusScratch_.push_back(s);
+            upIndexScratch_.push_back(i);
+        }
+        const std::size_t p =
+            dispatch_->pick(requests_[idx], statusScratch_);
+        KELLE_ASSERT(p < upIndexScratch_.size(),
+                     "dispatch picked a device outside the fleet");
+        d = upIndexScratch_[p];
+    }
     // Blind routing must not turn a serveable request into a
     // permanent rejection: if the picked device's whole pool can
     // never hold the request's floor, fall back to the feasible
@@ -212,6 +274,8 @@ ClusterEngine::pickDevice(std::size_t idx)
     if (!devices_[d]->canEverAdmit(requests_[idx])) {
         std::size_t best = devices_.size();
         for (std::size_t i = 0; i < devices_.size(); ++i) {
+            if (downCount_ > 0 && health_[i] == DeviceHealth::Down)
+                continue;
             if (!devices_[i]->canEverAdmit(requests_[idx]))
                 continue;
             if (best == devices_.size() ||
@@ -225,7 +289,11 @@ ClusterEngine::pickDevice(std::size_t idx)
     if (cfg_.engine.verbose && devices_.size() > 1) {
         const serving::Request &r = requests_[idx];
         inform("t=", toString(queue_.now()), " dispatch request #",
-               r.id, r.preemptions > 0 ? " (requeued)" : "", " -> ",
+               r.id,
+               r.faultRetries > 0
+                   ? " (fault retry)"
+                   : (r.preemptions > 0 ? " (requeued)" : ""),
+               " -> ",
                devices_[d]->config().name, " (free KV ",
                Table::num(Bytes(devices_[d]->freeKvBytes()).inMib(),
                           1),
@@ -239,6 +307,14 @@ void
 ClusterEngine::dispatchArrival(std::size_t idx)
 {
     const std::size_t d = pickDevice(idx);
+    if (d == devices_.size()) {
+        // Whole fleet down: park the request on the retry path until
+        // a device recovers (or its retry budget runs out).
+        scheduleRetry(idx, queue_.now());
+        return;
+    }
+    if (injector_ != nullptr)
+        lastDevice_[idx] = d;
     if (clusterTrack_ != nullptr)
         clusterTrack_->dispatched(queue_.now(), requests_[idx].id, d);
     devices_[d]->enqueue(idx);
@@ -248,6 +324,12 @@ void
 ClusterEngine::dispatchAt(Time t, std::size_t idx)
 {
     const std::size_t d = pickDevice(idx);
+    if (d == devices_.size()) {
+        scheduleRetry(idx, t);
+        return;
+    }
+    if (injector_ != nullptr)
+        lastDevice_[idx] = d;
     if (clusterTrack_ != nullptr)
         clusterTrack_->dispatched(t, requests_[idx].id, d);
     localQueues_[d]->advanceTo(t);
@@ -271,7 +353,27 @@ ClusterEngine::runSerial()
     }
     obs::PhaseProfiler::Timer timer(
         cfg_.engine.profiler, obs::PhaseProfiler::Phase::SerialDrive);
-    queue_.runAll();
+    if (injector_ == nullptr) {
+        queue_.runAll();
+        return;
+    }
+    // Interleave the infinite fault stream with the event heap: every
+    // fault at or before the next queue event applies first (the
+    // injector's contract), with the queue clock advanced to the
+    // fault instant so retries and trace writes stamp it. Faults past
+    // the last queue event never materialize — the run is over.
+    for (;;) {
+        if (queue_.empty())
+            break;
+        Time tq = queue_.nextEventTime();
+        while (injector_->nextEventTime() <= tq) {
+            const faults::FaultEvent ev = injector_->pop();
+            queue_.advanceTo(ev.at);
+            applyFault(ev);
+            tq = queue_.nextEventTime();
+        }
+        queue_.runNext();
+    }
 }
 
 Time
@@ -319,6 +421,219 @@ ClusterEngine::drainRequeues(Time t)
     }
 }
 
+Time
+ClusterEngine::nextRetryTime() const
+{
+    Time t = Time::seconds(std::numeric_limits<double>::infinity());
+    for (const PendingRetry &r : retryPending_)
+        t = std::min(t, r.at);
+    return t;
+}
+
+void
+ClusterEngine::scheduleRetry(std::size_t idx, Time now)
+{
+    serving::Request &r = requests_[idx];
+    if (r.faultRetries >= cfg_.faults.maxRetries) {
+        permanentFail(idx, now);
+        return;
+    }
+    ++r.faultRetries;
+    ++retries_;
+    // Capped exponential backoff, jittered 0.5-1.5x by a pure hash of
+    // (request id, attempt) — no shared RNG stream, so retry timing
+    // cannot perturb the fault or arrival draws.
+    const std::uint32_t attempt = r.faultRetries;
+    double backoff =
+        cfg_.faults.retryBackoffSec *
+        static_cast<double>(1ull << std::min(attempt - 1u, 62u));
+    backoff = std::min(backoff, cfg_.faults.retryBackoffCapSec);
+    backoff *= 0.5 + hashUnit(r.id, attempt);
+    const Time at = now + Time::seconds(backoff);
+    PendingRetry pr;
+    pr.at = at;
+    pr.seq = retrySeq_++;
+    pr.req = idx;
+    retryPending_.push_back(pr);
+    if (threads_ <= 1) {
+        // Serial: a queue event fires the earliest pending retry. The
+        // priority puts same-time retries after every device requeue
+        // (1 + emitting device index < 1 + fleet size), the order the
+        // parallel round phases replay.
+        queue_.schedule(at, [this] { fireRetry(); },
+                        1 + static_cast<int>(devices_.size()));
+    }
+    if (cfg_.engine.verbose)
+        inform("t=", toString(now), " request #", r.id,
+               " fault retry ", attempt, "/", cfg_.faults.maxRetries,
+               " scheduled at t=", toString(at));
+}
+
+void
+ClusterEngine::permanentFail(std::size_t idx, Time now)
+{
+    ++permanentFailures_;
+    const std::size_t d = lastDevice_[idx];
+    // The target's clock may trail `now` when the failure lands off
+    // its own partition (parallel mode only); no event of its can be
+    // pending before the round's t0.
+    if (threads_ > 1)
+        localQueues_[d]->advanceTo(now);
+    devices_[d]->failRequestAt(now, idx);
+}
+
+void
+ClusterEngine::fireRetry()
+{
+    KELLE_ASSERT(!retryPending_.empty(),
+                 "fault retry fired with none pending");
+    // Pop min (at, seq): scheduling order matches the event queue's
+    // (time, seq) order for the events that created them.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < retryPending_.size(); ++i) {
+        const PendingRetry &a = retryPending_[i];
+        const PendingRetry &b = retryPending_[best];
+        if (a.at < b.at || (a.at == b.at && a.seq < b.seq))
+            best = i;
+    }
+    const std::size_t idx = retryPending_[best].req;
+    KELLE_ASSERT(!(queue_.now() < retryPending_[best].at),
+                 "fault retry fired early");
+    retryPending_.erase(retryPending_.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+    dispatchArrival(idx);
+}
+
+void
+ClusterEngine::drainRetries(Time t)
+{
+    for (;;) {
+        std::size_t best = retryPending_.size();
+        for (std::size_t i = 0; i < retryPending_.size(); ++i) {
+            const PendingRetry &a = retryPending_[i];
+            if (t < a.at)
+                continue;
+            if (best == retryPending_.size() ||
+                a.at < retryPending_[best].at ||
+                (a.at == retryPending_[best].at &&
+                 a.seq < retryPending_[best].seq))
+                best = i;
+        }
+        if (best == retryPending_.size())
+            break;
+        const std::size_t idx = retryPending_[best].req;
+        retryPending_.erase(retryPending_.begin() +
+                            static_cast<std::ptrdiff_t>(best));
+        dispatchAt(t, idx);
+        // A retry dispatch can cascade into same-time preemption
+        // requeues; the serial heap pops those (priority 1 + device)
+        // before the next retry event (priority 1 + fleet size).
+        drainRequeues(t);
+    }
+}
+
+void
+ClusterEngine::applyFault(const faults::FaultEvent &ev)
+{
+    serving::DeviceEngine &dev = *devices_[ev.device];
+    switch (ev.kind) {
+      case faults::FaultKind::Crash: {
+        health_[ev.device] = DeviceHealth::Down;
+        ++downCount_;
+        downSince_[ev.device] = ev.at;
+        ++faultDevs_[ev.device].crashes;
+        ++crashes_;
+        std::uint64_t lost = 0;
+        dev.crashAt(ev.at, &victimScratch_, &lost);
+        lostTokens_ += lost;
+        for (std::size_t idx : victimScratch_)
+            scheduleRetry(idx, ev.at);
+        // Graceful-degradation ladder on the survivors: the crashed
+        // device's load is about to land on them, so free what can be
+        // freed (cached prefixes, idle tails) and shed waiters whose
+        // TTFT deadline already expired back to the retry path.
+        for (std::size_t j = 0; j < devices_.size(); ++j) {
+            if (j == ev.device || health_[j] == DeviceHealth::Down)
+                continue;
+            devices_[j]->pressureReclaimAt(ev.at);
+            shedScratch_.clear();
+            devices_[j]->shedStaleWaitingAt(ev.at, &shedScratch_);
+            shedRequests_ += shedScratch_.size();
+            for (std::size_t idx : shedScratch_)
+                scheduleRetry(idx, ev.at);
+        }
+        break;
+      }
+      case faults::FaultKind::Slowdown:
+        health_[ev.device] = DeviceHealth::Degraded;
+        ++slowdowns_;
+        dev.slowdownAt(ev.at, cfg_.faults.slowdownFactor);
+        break;
+      case faults::FaultKind::PoolShrink: {
+        health_[ev.device] = DeviceHealth::Degraded;
+        ++shrinks_;
+        dev.shrinkPoolAt(ev.at, cfg_.faults.shrinkFactor);
+        // Self ladder: shrink grants back under the scaled capacity
+        // and shed hopeless waiters rather than serving sure misses.
+        dev.pressureReclaimAt(ev.at);
+        shedScratch_.clear();
+        dev.shedStaleWaitingAt(ev.at, &shedScratch_);
+        shedRequests_ += shedScratch_.size();
+        for (std::size_t idx : shedScratch_)
+            scheduleRetry(idx, ev.at);
+        break;
+      }
+      case faults::FaultKind::Recover:
+        if (ev.cause == faults::FaultKind::Crash) {
+            faultDevs_[ev.device].downtimeSec +=
+                (ev.at - downSince_[ev.device]).sec();
+            --downCount_;
+            health_[ev.device] =
+                cfg_.faults.recoverWarmupSec > 0.0
+                    ? DeviceHealth::Recovering
+                    : DeviceHealth::Healthy;
+            dev.recoverAt(ev.at);
+        } else {
+            health_[ev.device] = DeviceHealth::Healthy;
+            dev.restoreAt(ev.at,
+                          ev.cause == faults::FaultKind::Slowdown
+                              ? 1
+                              : 2);
+        }
+        break;
+      case faults::FaultKind::RecoverDone:
+        health_[ev.device] = DeviceHealth::Healthy;
+        break;
+    }
+}
+
+void
+ClusterEngine::fillFaultReport(ClusterReport *rep, Time last) const
+{
+    ClusterFaultReport &f = rep->faults;
+    f.enabled = true;
+    f.crashes = crashes_;
+    f.slowdowns = slowdowns_;
+    f.shrinks = shrinks_;
+    f.lostTokens = lostTokens_;
+    f.retries = retries_;
+    f.shedRequests = shedRequests_;
+    f.permanentFailures = permanentFailures_;
+    f.devices = faultDevs_;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        // A device still down at the end of the run is down until the
+        // last completion (or its own crash, whichever is later).
+        if (health_[i] == DeviceHealth::Down)
+            f.devices[i].downtimeSec +=
+                (std::max(last, downSince_[i]) - downSince_[i]).sec();
+        f.totalDowntimeSec += f.devices[i].downtimeSec;
+    }
+    for (const serving::Request &r : requests_)
+        if (r.state == serving::RequestState::Completed &&
+            r.faultRetries > 0)
+            ++f.retrySuccesses;
+}
+
 void
 ClusterEngine::runParallel()
 {
@@ -327,6 +642,15 @@ ClusterEngine::runParallel()
     const std::size_t nd = devices_.size();
     for (auto &q : localQueues_)
         q->reserve(8);
+    // Earliest fault-side external event: the next fault instant or
+    // the next pending fault re-dispatch (+inf faults-off). Neither
+    // commutes with a lookahead window, so both bound horizons.
+    const auto nextExtra = [this, inf] {
+        return injector_ != nullptr
+                   ? std::min(injector_->nextEventTime(),
+                              nextRetryTime())
+                   : Time::seconds(inf);
+    };
     for (;;) {
         const Time arrival =
             arrivalCursor_ < requests_.size()
@@ -335,9 +659,15 @@ ClusterEngine::runParallel()
         Time nextEvent = Time::seconds(inf);
         for (const auto &q : localQueues_)
             nextEvent = std::min(nextEvent, q->nextEventTime());
-        if (!(arrival.sec() < inf) && !(nextEvent.sec() < inf))
-            break; // drained (requeue buffers never persist a round)
-        const Time horizon = std::min(arrival, nextRequeueBound());
+        // Drained: no arrivals, no local events, no parked retries
+        // (requeue buffers never persist a round; the infinite fault
+        // stream alone never keeps a run alive).
+        if (!(arrival.sec() < inf) && !(nextEvent.sec() < inf) &&
+            retryPending_.empty())
+            break;
+        const Time extra = nextExtra();
+        const Time horizon = std::min(
+            std::min(arrival, nextRequeueBound()), extra);
         if (nextEvent < horizon) {
             // Lookahead window: every device advances its own
             // partition to the horizon concurrently. Nothing crosses
@@ -381,33 +711,50 @@ ClusterEngine::runParallel()
         // devices already stepped, so lookahead is disabled for the
         // round; with it off, a boundary may fast-forward up to the
         // next still-pending arrival exactly like the serial engine.
-        const Time t0 = std::min(arrival, nextEvent);
+        const Time t0 =
+            std::min(std::min(arrival, nextEvent), extra);
         obs::PhaseProfiler::Timer round_timer(
             cfg_.engine.profiler,
             obs::PhaseProfiler::Phase::SerialRound);
         const bool lookahead = !cfg_.engine.preempt.enabled;
         windowHorizon_ = t0;
+        if (injector_ != nullptr &&
+            injector_->nextEventTime() <= t0) {
+            // Fault instants precede any same-time queue event (the
+            // serial loop's order). No partition holds an event
+            // before t0, so every clock can line up with the fault —
+            // the ladder and eviction handling may touch any device.
+            for (auto &q : localQueues_)
+                q->advanceTo(t0);
+            while (injector_->nextEventTime() <= t0)
+                applyFault(injector_->pop());
+        }
         if (arrival == t0) {
             while (arrivalCursor_ < requests_.size() &&
                    requests_[arrivalCursor_].arrival == t0) {
                 const std::size_t idx = arrivalCursor_++;
                 if (lookahead)
-                    windowHorizon_ =
+                    windowHorizon_ = std::min(
                         arrivalCursor_ < requests_.size()
                             ? requests_[arrivalCursor_].arrival
-                            : Time::seconds(inf);
+                            : Time::seconds(inf),
+                        nextExtra());
                 dispatchAt(t0, idx);
             }
         }
         if (lookahead)
-            windowHorizon_ = arrivalCursor_ < requests_.size()
-                                 ? requests_[arrivalCursor_].arrival
-                                 : Time::seconds(inf);
+            windowHorizon_ =
+                std::min(arrivalCursor_ < requests_.size()
+                             ? requests_[arrivalCursor_].arrival
+                             : Time::seconds(inf),
+                         nextExtra());
         for (std::size_t i = 0; i < nd; ++i) {
             while (localQueues_[i]->nextEventTime() == t0)
                 localQueues_[i]->runNext();
         }
         drainRequeues(t0);
+        if (injector_ != nullptr)
+            drainRetries(t0);
     }
 }
 
@@ -422,6 +769,8 @@ ClusterEngine::run()
     }
     if (cfg_.engine.waterfall != nullptr)
         cfg_.engine.waterfall->beginRun(requests_.size());
+    if (injector_ != nullptr)
+        lastDevice_.assign(requests_.size(), 0);
     if (threads_ > 1)
         runParallel();
     else
@@ -447,6 +796,8 @@ ClusterEngine::run()
     if (cfg_.engine.waterfall != nullptr)
         rep.aggregate.attribution =
             cfg_.engine.waterfall->report(devices_.size());
+    if (injector_ != nullptr)
+        fillFaultReport(&rep, last);
     return rep;
 }
 

@@ -38,6 +38,7 @@
 
 #include "cluster/cluster_metrics.hpp"
 #include "cluster/dispatch_policy.hpp"
+#include "faults/fault_injector.hpp"
 #include "serving/device_engine.hpp"
 #include "serving/request_generator.hpp"
 #include "serving/scheduler.hpp"
@@ -86,6 +87,15 @@ struct ClusterConfig
      * docs/ARCHITECTURE.md, "Parallel cluster engine").
      */
     std::size_t threads = 1;
+    /**
+     * Deterministic fault injection (src/faults): seeded per-device
+     * crash / slowdown / pool-shrink disruptions with recovery,
+     * crash-eviction re-dispatch under a capped-backoff retry budget,
+     * and the graceful-degradation ladder. Disabled (the default) the
+     * engine never constructs an injector and every path — serial and
+     * parallel — is bit-identical to the pre-fault build.
+     */
+    faults::FaultConfig faults;
 };
 
 /** N identical devices named dev0..devN-1. */
@@ -115,6 +125,15 @@ ClusterConfig clusterConfigFrom(const serving::ServingConfig &cfg,
                                 std::size_t n_devices,
                                 DispatchKind dispatch);
 
+/** Cluster-side health of one device (driven by the fault stream). */
+enum class DeviceHealth : std::uint8_t
+{
+    Healthy,
+    Degraded,   ///< slowdown or pool-shrink disruption active
+    Down,       ///< crashed: blacklisted from dispatch
+    Recovering, ///< crash repaired, warm-up running (dispatchable)
+};
+
 class ClusterEngine
 {
   public:
@@ -135,8 +154,16 @@ class ClusterEngine
         return requests_;
     }
 
+    /** Per-device health after run() (Healthy without faults). */
+    DeviceHealth health(std::size_t i) const
+    {
+        return health_.empty() ? DeviceHealth::Healthy : health_[i];
+    }
+
   private:
-    /** Dispatch-policy pick plus the canEverAdmit fallback. */
+    /** Dispatch-policy pick plus the canEverAdmit fallback. Down
+     *  devices are blacklisted; `devices_.size()` is returned when
+     *  the whole fleet is down (the caller schedules a retry). */
     std::size_t pickDevice(std::size_t idx);
     void dispatchArrival(std::size_t idx);
     /** Parallel-mode dispatch: line the target's partition clock up
@@ -151,6 +178,28 @@ class ClusterEngine
     void drainRequeues(Time t);
     /** Earliest requeue any device could still emit (+inf when none). */
     Time nextRequeueBound() const;
+    /** @name Fault machinery (injector_ != nullptr only). @{ */
+    /** Apply one fault instant: flip health, drive the device's fault
+     *  surface, schedule eviction retries, run the degradation
+     *  ladder. Requires every (relevant) event queue advanced to
+     *  `ev.at`. */
+    void applyFault(const faults::FaultEvent &ev);
+    /** Re-dispatch `idx` after a capped exponential backoff, or fail
+     *  it permanently once the retry budget is spent. */
+    void scheduleRetry(std::size_t idx, Time now);
+    /** Terminal failure of `idx` on its last device. */
+    void permanentFail(std::size_t idx, Time now);
+    /** Serial retry event: pop the earliest pending retry. */
+    void fireRetry();
+    /** Parallel round phase: dispatch retries due at `t` in (at, seq)
+     *  order, draining cascaded requeues after each (the serial
+     *  heap's pop order: requeue priority < retry priority). */
+    void drainRetries(Time t);
+    /** Earliest pending fault re-dispatch (+inf when none). */
+    Time nextRetryTime() const;
+    /** Fill ClusterReport::faults after the roll-up. */
+    void fillFaultReport(ClusterReport *rep, Time last) const;
+    /** @} */
 
     ClusterConfig cfg_;
     /** `cfg_.engine.trace`'s requests track (dispatch instants);
@@ -188,6 +237,42 @@ class ClusterEngine
     /** Serial mode: requeue events scheduled but not yet dispatched —
      *  while nonzero, no device may fast-forward past `now`. */
     int pendingRequeues_ = 0;
+
+    /** @name Fault state (null/empty when cfg_.faults.enabled off;
+     * every guard below is a pointer test, so the faults-off paths
+     * are byte-identical to the pre-fault build). @{ */
+    std::unique_ptr<faults::FaultInjector> injector_;
+    std::vector<DeviceHealth> health_;
+    std::size_t downCount_ = 0;
+    /** Crash-start instant per device (meaningful while Down). */
+    std::vector<Time> downSince_;
+    /** Last device each request was dispatched to (terminal fault
+     *  failures land on it). */
+    std::vector<std::size_t> lastDevice_;
+    /** One pending fault re-dispatch; `seq` breaks same-time ties in
+     *  scheduling order, matching the serial heap's (time, seq). */
+    struct PendingRetry
+    {
+        Time at;
+        std::uint64_t seq = 0;
+        std::size_t req = 0;
+    };
+    std::vector<PendingRetry> retryPending_; ///< unordered, rare
+    std::uint64_t retrySeq_ = 0;
+    std::vector<std::size_t> victimScratch_;
+    std::vector<std::size_t> shedScratch_;
+    /** Compacted-status index map: statusScratch_ row -> device. */
+    std::vector<std::size_t> upIndexScratch_;
+    /** Aggregate fault accounting (ClusterFaultReport source). */
+    std::uint64_t crashes_ = 0;
+    std::uint64_t slowdowns_ = 0;
+    std::uint64_t shrinks_ = 0;
+    std::uint64_t lostTokens_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t shedRequests_ = 0;
+    std::uint64_t permanentFailures_ = 0;
+    std::vector<ClusterFaultReport::Device> faultDevs_;
+    /** @} */
 };
 
 } // namespace cluster

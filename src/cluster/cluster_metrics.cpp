@@ -130,6 +130,33 @@ exportClusterMetrics(const ClusterReport &rep,
         reg.setGauge("cluster.kv_budget_clips",
                      static_cast<double>(p.budgetClips));
     }
+    if (rep.faults.enabled) {
+        const ClusterFaultReport &f = rep.faults;
+        reg.setGauge("cluster.fault_crashes",
+                     static_cast<double>(f.crashes));
+        reg.setGauge("cluster.fault_slowdowns",
+                     static_cast<double>(f.slowdowns));
+        reg.setGauge("cluster.fault_pool_shrinks",
+                     static_cast<double>(f.shrinks));
+        reg.setGauge("cluster.fault_downtime_sec",
+                     f.totalDowntimeSec);
+        reg.setGauge("cluster.fault_lost_tokens",
+                     static_cast<double>(f.lostTokens));
+        reg.setGauge("cluster.fault_retries",
+                     static_cast<double>(f.retries));
+        reg.setGauge("cluster.fault_retry_successes",
+                     static_cast<double>(f.retrySuccesses));
+        reg.setGauge("cluster.fault_shed_requests",
+                     static_cast<double>(f.shedRequests));
+        reg.setGauge("cluster.fault_permanent_failures",
+                     static_cast<double>(f.permanentFailures));
+        const double span = sum.makespan.sec() *
+                            static_cast<double>(rep.devices.size());
+        reg.setGauge("cluster.availability",
+                     span > 0.0
+                         ? 1.0 - f.totalDowntimeSec / span
+                         : 1.0);
+    }
     const double makespan = sum.makespan.sec();
     for (const ClusterDeviceReport &d : rep.devices) {
         const std::string prefix =

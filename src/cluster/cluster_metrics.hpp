@@ -45,6 +45,38 @@ struct ClusterDeviceReport
     double kvPeakUtilization = 0.0; ///< peak reserved / pool capacity
 };
 
+/**
+ * Fault-tolerance accounting of a run (src/faults). `enabled` false
+ * (the default, faults off) leaves every other field zero and keeps
+ * all printers/exports byte-identical to the pre-fault build.
+ */
+struct ClusterFaultReport
+{
+    bool enabled = false;
+    /** Sum of per-device crash downtime, seconds. Availability is
+     *  `1 - totalDowntimeSec / (devices x makespan)`. */
+    double totalDowntimeSec = 0.0;
+    std::uint64_t crashes = 0;
+    std::uint64_t slowdowns = 0;
+    std::uint64_t shrinks = 0;
+    /** KV tokens discarded by crash evictions (regeneration cost). */
+    std::uint64_t lostTokens = 0;
+    /** Fault re-dispatches scheduled (crash evictions + sheds). */
+    std::uint64_t retries = 0;
+    /** Requests that completed after >= 1 fault retry. */
+    std::uint64_t retrySuccesses = 0;
+    /** Waiting requests shed by the degradation ladder. */
+    std::uint64_t shedRequests = 0;
+    /** Requests whose fault-retry budget ran out (terminal). */
+    std::uint64_t permanentFailures = 0;
+    struct Device
+    {
+        std::uint64_t crashes = 0;
+        double downtimeSec = 0.0;
+    };
+    std::vector<Device> devices;
+};
+
 /** The whole fleet's outcome. */
 struct ClusterReport
 {
@@ -57,6 +89,8 @@ struct ClusterReport
     double meanKvPeakUtilization = 0.0;
     /** Total eDRAM refresh energy across the fleet, joules. */
     double refreshEnergyJ = 0.0;
+    /** Fault/recovery accounting (enabled only on fault runs). */
+    ClusterFaultReport faults;
 };
 
 /** Population coefficient of variation; 0 for empty or zero-mean. */

@@ -87,33 +87,46 @@ KvPagePool::unrefPage(std::uint32_t p)
 }
 
 void
+KvPagePool::dropOldestPublished()
+{
+    const std::uint64_t key = publishOrder_[reclaimCursor_];
+    const auto it = published_.find(key);
+    if (it != published_.end() &&
+        it->second.order == reclaimCursor_) {
+        if (it->second.ownerChain != kNoChain)
+            chains_[it->second.ownerChain].publishedKey = 0;
+        for (std::uint32_t p : it->second.pages) {
+            Page &pg = pages_[p];
+            pg.indexed = false;
+            --indexedPages_;
+            if (pg.refs == 1)
+                --cachedPages_;
+            unrefPage(p);
+        }
+        published_.erase(it);
+        ++cachedReclaims_;
+    }
+    ++reclaimCursor_;
+}
+
+void
 KvPagePool::reclaimCached()
 {
     // Oldest-published-first: walk the publish log, dropping whole
     // entries until a page actually lands on the free list. Entries
     // whose pages still have live sharers free nothing but also stop
     // attracting new sharers.
-    while (freeList_.empty() &&
-           reclaimCursor_ < publishOrder_.size()) {
-        const std::uint64_t key = publishOrder_[reclaimCursor_];
-        const auto it = published_.find(key);
-        if (it != published_.end() &&
-            it->second.order == reclaimCursor_) {
-            if (it->second.ownerChain != kNoChain)
-                chains_[it->second.ownerChain].publishedKey = 0;
-            for (std::uint32_t p : it->second.pages) {
-                Page &pg = pages_[p];
-                pg.indexed = false;
-                --indexedPages_;
-                if (pg.refs == 1)
-                    --cachedPages_;
-                unrefPage(p);
-            }
-            published_.erase(it);
-            ++cachedReclaims_;
-        }
-        ++reclaimCursor_;
-    }
+    while (freeList_.empty() && reclaimCursor_ < publishOrder_.size())
+        dropOldestPublished();
+}
+
+std::size_t
+KvPagePool::dropCachedPrefixes()
+{
+    const std::size_t before = freeList_.size();
+    while (reclaimCursor_ < publishOrder_.size())
+        dropOldestPublished();
+    return freeList_.size() - before;
 }
 
 bool

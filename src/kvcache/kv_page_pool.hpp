@@ -114,6 +114,16 @@ class KvPagePool
     /** Drop every page reference and retire the chain id for reuse. */
     void release(std::size_t chain);
 
+    /**
+     * Fault-pressure reclaim (src/faults): drop *every* published
+     * prefix entry — not just until one page frees — returning the
+     * pages that landed on the free list. Entries still shared by live
+     * chains free nothing but stop attracting new sharers. Part of
+     * the graceful-degradation ladder; never called on a healthy
+     * fleet, so pre-fault digests are untouched.
+     */
+    std::size_t dropCachedPrefixes();
+
     /** @name Accounting. @{ */
     std::size_t capacityTokens(std::size_t chain) const;
     std::size_t totalPages() const { return cfg_.totalPages; }
@@ -181,6 +191,8 @@ class KvPagePool
     void unrefPage(std::uint32_t p);
     /** Drop the oldest published entries until a page frees. */
     void reclaimCached();
+    /** Drop the publish-log entry at reclaimCursor_ and advance. */
+    void dropOldestPublished();
     void notePressure();
     bool growChain(Chain &c, std::size_t tokens);
 

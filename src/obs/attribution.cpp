@@ -53,6 +53,8 @@ toString(MissCause c)
         return "compute";
     case MissCause::OverloadReject:
         return "overload_reject";
+    case MissCause::DeviceFault:
+        return "device_fault";
     }
     return "?";
 }
@@ -117,12 +119,17 @@ closeFold(double total, double *c, std::size_t last)
 
 MissCause
 classifyMiss(bool rejected, bool missed_ttft, bool missed_tpot,
-             const double c[kLatencyComponentCount])
+             const double c[kLatencyComponentCount], bool faulted)
 {
     if (rejected)
-        return MissCause::OverloadReject;
+        return faulted ? MissCause::DeviceFault
+                       : MissCause::OverloadReject;
     if (!missed_ttft && !missed_tpot)
         return MissCause::None;
+    // A fault inflated whichever component the vote below would have
+    // blamed; the disruption owns the miss.
+    if (faulted)
+        return MissCause::DeviceFault;
 
     // Buckets in tie-break order. Only the components of the missed
     // deadline(s) vote: a TPOT-only miss must not be blamed on queue
@@ -286,8 +293,25 @@ LatencyWaterfall::finalize(WaterfallEntry &e)
                             static_cast<double>(e.decLen);
         e.missedTpot = tpot > e.tpotTargetSec;
     }
-    e.cause = classifyMiss(e.rejected, e.missedTtft, e.missedTpot, c);
+    e.cause = classifyMiss(e.rejected, e.missedTtft, e.missedTpot, c,
+                           e.faulted);
     e.terminal = true;
+}
+
+void
+LatencyWaterfall::onFaultEvict(std::size_t idx, Time t)
+{
+    WaterfallEntry &e = at(idx);
+    e.faulted = true;
+    // A victim that had served its first token regenerates through
+    // the preempt machinery — reuse the c7 interval (keep the first
+    // stamp if it was already a preempt victim). Pre-first-token
+    // victims restart their whole TTFT window: their lost time folds
+    // into c1/c4, no preempt interval to open.
+    if (e.firstToken.sec() > 0.0 && !e.preempted) {
+        e.preempted = true;
+        e.preemptAt = t;
+    }
 }
 
 void
@@ -306,6 +330,18 @@ LatencyWaterfall::onRejected(std::size_t idx, Time t,
                              std::uint32_t device)
 {
     WaterfallEntry &e = at(idx);
+    e.finished = t;
+    e.device = device;
+    e.rejected = true;
+    finalize(e);
+}
+
+void
+LatencyWaterfall::onFaultFailed(std::size_t idx, Time t,
+                                std::uint32_t device)
+{
+    WaterfallEntry &e = at(idx);
+    e.faulted = true;
     e.finished = t;
     e.device = device;
     e.rejected = true;
@@ -359,6 +395,11 @@ exportAttributionMetrics(const LatencyWaterfall &wf,
         reg.setGauge(name, rep.componentTotals[i]);
     }
     for (std::size_t i = 0; i < kMissCauseCount; ++i) {
+        // The fault cause appears only on fault runs, keeping the
+        // pre-fault metrics surface (and its digests) unchanged.
+        if (static_cast<MissCause>(i) == MissCause::DeviceFault &&
+            rep.missCounts[i] == 0)
+            continue;
         std::snprintf(name, sizeof name, "attribution.miss.%s",
                       toString(static_cast<MissCause>(i)));
         reg.setGauge(name, static_cast<double>(rep.missCounts[i]));

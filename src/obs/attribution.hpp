@@ -93,8 +93,9 @@ enum class MissCause : std::uint8_t
     Preempt,        ///< preempt-and-requeue loss
     Compute,        ///< the request's own compute (SLO infeasible)
     OverloadReject, ///< floor exceeded the whole pool
+    DeviceFault,    ///< crash eviction / fault shed / retry exhaustion
 };
-inline constexpr std::size_t kMissCauseCount = 7;
+inline constexpr std::size_t kMissCauseCount = 8;
 const char *toString(MissCause c);
 
 /**
@@ -140,10 +141,15 @@ void closeFold(double total, double *c, std::size_t last);
  * largest bucket wins; ties break in the order queue, kv-pressure,
  * interference, preempt, compute. Rejected requests are always
  * OverloadReject; requests that met both deadlines are None.
+ * `faulted` requests (crash-evicted, fault-shed, or retry-exhausted)
+ * pre-empt the component vote: a device fault dominates whatever
+ * latency it inflated, so any miss or rejection they suffer is
+ * DeviceFault.
  */
 MissCause classifyMiss(bool rejected, bool missed_ttft,
                        bool missed_tpot,
-                       const double c[kLatencyComponentCount]);
+                       const double c[kLatencyComponentCount],
+                       bool faulted = false);
 
 /** One request's waterfall (terminal once `terminal` is set). */
 struct WaterfallEntry
@@ -154,6 +160,7 @@ struct WaterfallEntry
     bool rejected = false;
     bool deferred = false;  ///< saw >= 1 first-life deferral
     bool preempted = false; ///< lost its KV grant mid-decode
+    bool faulted = false;   ///< hit by a device fault (evict/shed/fail)
     bool missedTtft = false;
     bool missedTpot = false;
     MissCause cause = MissCause::None;
@@ -236,9 +243,15 @@ class LatencyWaterfall
      *  latency shared by `batch` members (any life). */
     void onDecodeBoundary(std::size_t idx, double step_sec,
                           double batch);
+    /** Any-life: crash eviction or fault-pressure shed. Marks the
+     *  entry faulted; for post-first-token victims it doubles as a
+     *  preempt stamp so c7 absorbs the regeneration interval. */
+    void onFaultEvict(std::size_t idx, Time t);
     /** Terminal events: compute components, classify, seal. @{ */
     void onCompleted(std::size_t idx, Time t, std::uint32_t device);
     void onRejected(std::size_t idx, Time t, std::uint32_t device);
+    /** Fault-retry budget exhausted: rejection + faulted. */
+    void onFaultFailed(std::size_t idx, Time t, std::uint32_t device);
     /** @} @} */
 
     const std::vector<WaterfallEntry> &entries() const

@@ -350,6 +350,41 @@ writeTrack(JsonWriter &w, const TraceTrack &track, int pid,
             w.endArgs();
             w.close();
             break;
+          case TraceEventKind::DeviceFault:
+            writeInstant(w, "device_fault", pid, e.tsUs);
+            w.beginArgs();
+            w.num("kind", e.v0);
+            w.num("magnitude", e.v1);
+            w.endArgs();
+            w.close();
+            break;
+          case TraceEventKind::DeviceRecover:
+            writeInstant(w, "device_recover", pid, e.tsUs);
+            w.beginArgs();
+            w.num("kind", e.v0);
+            w.endArgs();
+            w.close();
+            break;
+          case TraceEventKind::FaultEvict:
+            writeInstant(w, "fault_evict", pid, e.tsUs);
+            w.beginArgs();
+            w.uint("req", e.req);
+            w.num("lost_tokens", e.v0);
+            w.endArgs();
+            w.close();
+            break;
+          case TraceEventKind::FaultFail:
+            writeInstant(w, "fault_fail", pid, e.tsUs);
+            w.beginArgs();
+            w.uint("req", e.req);
+            w.endArgs();
+            w.close();
+            writeSpanEdge(w, false, taskOf(e.req), e.req, e.tsUs);
+            w.beginArgs();
+            w.raw("outcome", "\"failed\"");
+            w.endArgs();
+            w.close();
+            break;
         }
     }
 }

@@ -75,6 +75,14 @@ enum class TraceEventKind : std::uint8_t
     Slo, ///< request SLO targets (v0 TTFT deadline s, v1 TPOT target
          ///< s) — emitted at arrival when attribution is on, so
          ///< offline tools can re-derive miss classification
+    /** @name Fault lifecycle (src/faults; fault runs only). @{ */
+    DeviceFault,   ///< device disruption began (v0 kind code: 0 crash,
+                   ///< 1 slowdown, 2 pool shrink; v1 magnitude)
+    DeviceRecover, ///< disruption over (v0 kind code)
+    FaultEvict,    ///< request evicted by a crash / pressure shed
+                   ///< (v0 KV tokens lost — the regeneration cost)
+    FaultFail,     ///< fault-retry budget exhausted (span end)
+    /** @} */
 };
 
 /** One recorded event; payload meaning depends on `kind`. */
@@ -199,6 +207,30 @@ class TraceTrack
     {
         push(t, TraceEventKind::Slo, req, ttft_deadline_sec,
              tpot_target_sec);
+    }
+    void
+    deviceFault(Time t, int kind_code, double magnitude)
+    {
+        push(t, TraceEventKind::DeviceFault, 0,
+             static_cast<double>(kind_code), magnitude);
+    }
+    void
+    deviceRecover(Time t, int kind_code)
+    {
+        push(t, TraceEventKind::DeviceRecover, 0,
+             static_cast<double>(kind_code));
+    }
+    void
+    faultEvicted(Time t, std::uint64_t req,
+                 std::uint64_t lost_tokens)
+    {
+        push(t, TraceEventKind::FaultEvict, req,
+             static_cast<double>(lost_tokens));
+    }
+    void
+    faultFailed(Time t, std::uint64_t req)
+    {
+        push(t, TraceEventKind::FaultFail, req);
     }
     /** @} */
 

@@ -72,6 +72,8 @@ parseArgs(Cursor &c, RawTraceEvent &ev)
                 ev.metaName = sval;
             else if (key == "outcome" && sval == "rejected")
                 ev.outcomeRejected = true;
+            else if (key == "outcome" && sval == "failed")
+                ev.outcomeFailed = true;
         } else {
             double v = 0.0;
             if (!c.num(v))
@@ -143,7 +145,10 @@ knownEvent(const RawTraceEvent &ev)
         return ev.name == "requeue" || ev.name == "dispatch" ||
                ev.name == "admit" || ev.name == "defer" ||
                ev.name == "reject" || ev.name == "preempt" ||
-               ev.name == "first_token" || ev.name == "slo";
+               ev.name == "first_token" || ev.name == "slo" ||
+               ev.name == "device_fault" ||
+               ev.name == "device_recover" ||
+               ev.name == "fault_evict" || ev.name == "fault_fail";
     case 'X':
         return ev.name == "prefill" || ev.name == "decode";
     case 'C':
@@ -190,9 +195,9 @@ lifecycleRank(const RawTraceEvent &ev)
         return 5;
     if (ev.name == "first_token")
         return 6;
-    if (ev.name == "preempt")
+    if (ev.name == "preempt" || ev.name == "fault_evict")
         return 7;
-    return 8; // reject
+    return 8; // reject / fault_fail
 }
 
 /** Decode-membership order at equal timestamps: a request that left
@@ -280,6 +285,8 @@ TraceReader::buildModel()
     for (std::size_t i = 0; i < kLatencyComponentCount; ++i)
         componentTotalsUs[i] = 0.0;
     terminal = completed = rejected = misses = 0;
+    deviceFaults = deviceRecovers = 0;
+    faultEvictions = faultFailures = 0;
 
     int maxPid = 0;
     for (const RawTraceEvent &ev : events_)
@@ -300,6 +307,20 @@ TraceReader::buildModel()
         if (ev.ph == 'b' || ev.ph == 'e') {
             byReq[ev.id].push_back(&ev);
         } else if (ev.ph == 'i') {
+            // Device-scoped fault instants carry no request binding;
+            // tally them here and keep them out of the lifecycles.
+            if (ev.name == "device_fault") {
+                ++deviceFaults;
+                continue;
+            }
+            if (ev.name == "device_recover") {
+                ++deviceRecovers;
+                continue;
+            }
+            if (ev.name == "fault_evict")
+                ++faultEvictions;
+            else if (ev.name == "fault_fail")
+                ++faultFailures;
             byReq[static_cast<std::uint64_t>(argOr(ev, "req", 0.0))]
                 .push_back(&ev);
         }
@@ -325,7 +346,7 @@ TraceReader::buildModel()
                 }
             } else if (ev->ph == 'e') {
                 r.endUs = ev->tsUs;
-                if (ev->outcomeRejected) {
+                if (ev->outcomeRejected || ev->outcomeFailed) {
                     r.rejected = true;
                 } else {
                     r.completed = true;
@@ -358,6 +379,19 @@ TraceReader::buildModel()
                     r.preempted = true;
                     r.preemptUs = ev->tsUs;
                 }
+            } else if (ev->name == "fault_evict") {
+                // Crash eviction: same preempt-interval bookkeeping
+                // as the online LatencyWaterfall::onFaultEvict — the
+                // lost-and-redone decode lands in c7, and only when
+                // the victim had already produced a token.
+                r.faulted = true;
+                if (r.firstTokenUs >= 0.0 && !r.preempted) {
+                    r.preempted = true;
+                    r.preemptUs = ev->tsUs;
+                }
+            } else if (ev->name == "fault_fail") {
+                r.faulted = true;
+                r.device = ev->pid;
             } else if (ev->name == "reject") {
                 r.device = ev->pid;
             }
@@ -406,10 +440,13 @@ TraceReader::buildModel()
             m.batch = argOr(ev, "batch", 1.0);
             byDevice[ev.pid].push_back(m);
         } else if (ev.ph == 'i' && (ev.name == "first_token" ||
-                                    ev.name == "preempt")) {
+                                    ev.name == "preempt" ||
+                                    ev.name == "fault_evict")) {
+            // A crash eviction removes the victim from its device's
+            // decode batch exactly like a preemption does.
             MemberEvent m;
             m.tsUs = ev.tsUs;
-            m.op = ev.name == "preempt" ? kRemove : kAdd;
+            m.op = ev.name == "first_token" ? kAdd : kRemove;
             m.req =
                 static_cast<std::uint64_t>(argOr(ev, "req", 0.0));
             byDevice[ev.pid].push_back(m);
@@ -500,8 +537,8 @@ TraceReader::buildModel()
                 (r.endUs - r.firstTokenUs) / r.tokens;
             r.missedTpot = tpotUs > r.tpotTargetSec * 1e6;
         }
-        r.cause =
-            classifyMiss(r.rejected, r.missedTtft, r.missedTpot, c);
+        r.cause = classifyMiss(r.rejected, r.missedTtft,
+                               r.missedTpot, c, r.faulted);
 
         // ---- Roll-ups ------------------------------------------
         ++terminal;

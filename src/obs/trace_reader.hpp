@@ -24,6 +24,11 @@
  *    (leave) events in timestamp order — removals sort before
  *    additions before slices at equal timestamps — and each slice's
  *    `batch` arg is the authoritative fair-share divisor.
+ *  - fault instants split two ways: `device_fault`/`device_recover`
+ *    are device-scoped (no request binding) and only tallied, while
+ *    `fault_evict` acts as a preemption (batch leave + c7 interval)
+ *    and `fault_fail` (with its `outcome:"failed"` span end) closes
+ *    the request as a fault-caused rejection.
  *  - waterfalls use the same component definitions and
  *    `exactRemainder` closure as the online `LatencyWaterfall`, in
  *    microsecond space (the trace's native unit). Offline components
@@ -65,6 +70,8 @@ struct RawTraceEvent
     std::string metaName;
     /** args.outcome == "rejected" on a rejection span end. */
     bool outcomeRejected = false;
+    /** args.outcome == "failed" on a fault-failure span end. */
+    bool outcomeFailed = false;
 };
 
 /** One request's trace-derived lifecycle and waterfall. */
@@ -78,6 +85,8 @@ struct RequestLife
     bool preempted = false;
     bool rejected = false;
     bool completed = false;
+    /** Hit by a device fault (crash eviction or terminal failure). */
+    bool faulted = false;
     bool hasSlo = false;
     double ttftDeadlineSec = 0.0;
     double tpotTargetSec = 0.0;
@@ -165,6 +174,12 @@ class TraceReader
     std::size_t completed = 0;
     std::size_t rejected = 0;
     std::size_t misses = 0;
+    /** @name Fault instants tallied from the trace (0 = no faults). @{ */
+    std::size_t deviceFaults = 0;
+    std::size_t deviceRecovers = 0;
+    std::size_t faultEvictions = 0;
+    std::size_t faultFailures = 0;
+    /** @} */
 
   private:
     void buildModel();

@@ -22,6 +22,21 @@ constexpr std::size_t kFloorSlackTokens = 8;
 constexpr std::size_t kPageQuantGroup = 32;
 
 /**
+ * SplitMix64-style hash of (a, b) to a uniform double in [0, 1) —
+ * the client-retry backoff jitter. A pure hash instead of a shared
+ * RNG stream, so enabling retries cannot perturb any other draw.
+ */
+double
+hashUnit(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9E3779B97F4A7C15ull + b;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/**
  * Page quantization flows through the whole stack by overriding the
  * system's KV precision *before* the allocator and cost cache are
  * built: timing, energy, refresh, and capacity all see the quantized
@@ -125,16 +140,19 @@ DeviceEngine::view() const
 void
 DeviceEngine::enqueue(std::size_t idx)
 {
+    KELLE_ASSERT(!crashed_,
+                 "enqueue into a crashed device (the owner must "
+                 "blacklist down devices)");
     if (grants_.size() < requests_.size())
         grants_.resize(requests_.size());
     ++dispatched_;
     waiting_.push_back(idx);
-    if (requests_[idx].preemptions > 0)
+    if (secondLife(requests_[idx]))
         ++waitingPreempted_;
     metrics_.sampleQueueDepth(waiting_.size());
     if (trace_ != nullptr) {
         const Request &r = requests_[idx];
-        if (r.preemptions == 0) {
+        if (!secondLife(r)) {
             trace_->requestArrived(queue_.now(), r.id, r.task.name);
             // SLO targets ride the trace only when attribution is on,
             // so pre-attribution trace digests stay byte-identical.
@@ -146,23 +164,33 @@ DeviceEngine::enqueue(std::size_t idx)
         }
         trace_->queueDepth(queue_.now(), waiting_.size());
     }
-    if (wf_ != nullptr && requests_[idx].preemptions == 0) {
+    if (wf_ != nullptr && !secondLife(requests_[idx])) {
         const Request &r = requests_[idx];
         wf_->onArrival(idx, r.id, queue_.now(), r.ttftDeadlineSec,
                        r.tpotTargetSec, r.task.decLen);
     }
     if (cfg_.verbose) {
         const Request &r = requests_[idx];
-        if (r.preemptions == 0)
+        if (!secondLife(r))
             inform("t=", toString(queue_.now()), label_, " request #",
                    r.id, " [", r.task.name, "] arrived (ctx ",
                    r.task.ctxLen, ", dec ", r.task.decLen,
                    ", TTFT deadline ",
                    toString(Time::seconds(r.ttftDeadlineSec)), ")");
-        else
+        else if (r.preemptions > 0)
             inform("t=", toString(queue_.now()), label_, " request #",
                    r.id, " [", r.task.name,
                    "] requeued after preemption");
+        else if (r.faultRetries > 0)
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   r.id, " [", r.task.name,
+                   "] re-dispatched after device fault (retry ",
+                   r.faultRetries, ")");
+        else
+            inform("t=", toString(queue_.now()), label_, " request #",
+                   r.id, " [", r.task.name,
+                   "] re-arrived after overload (client retry ",
+                   r.clientRetries, ")");
     }
     dispatch();
 }
@@ -170,7 +198,7 @@ DeviceEngine::enqueue(std::size_t idx)
 void
 DeviceEngine::dispatch()
 {
-    if (engineBusy_ || truncated_)
+    if (engineBusy_ || truncated_ || crashed_)
         return;
     preemptDoomed();
     admitWaiting();
@@ -325,6 +353,26 @@ void
 DeviceEngine::rejectRequest(std::size_t idx, std::size_t floor_tokens)
 {
     Request &r = requests_[idx];
+    if (cfg_.clientRetries > 0 &&
+        r.clientRetries < cfg_.clientRetries) {
+        // Client-side retry: the request re-arrives after a seeded
+        // backoff instead of failing terminally. The caller has (or
+        // is about to) remove it from the waiting queue; it lives at
+        // the client until the re-arrival event fires.
+        ++r.clientRetries;
+        const double u = hashUnit(r.id, r.clientRetries);
+        const Time at =
+            queue_.now() +
+            Time::seconds(cfg_.clientRetryBackoffSec * (0.5 + u));
+        clientRetryAt_.emplace_back(at, idx);
+        queue_.schedule(at, [this] { fireClientRetry(); });
+        if (cfg_.verbose)
+            inform("t=", toString(queue_.now()), label_,
+                   " request #", r.id, " overloaded; client retry ",
+                   r.clientRetries, "/", cfg_.clientRetries,
+                   " at t=", toString(at));
+        return;
+    }
     r.state = RequestState::Rejected;
     metrics_.onRejected(r);
     if (wf_ != nullptr)
@@ -362,9 +410,10 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
     const std::size_t requested = requestedBudget(r.task);
     const std::size_t floor_tokens = minBudget(r.task);
     if (floor_tokens > allocator_.capacityTokens()) {
-        // Even an empty pool could never hold the floor.
+        // Even an empty pool could never hold the floor (or a client
+        // retry is scheduled; either way the entry leaves the queue).
         rejectRequest(idx, floor_tokens);
-        if (r.preemptions > 0)
+        if (secondLife(r))
             --waitingPreempted_;
         erase_at(pos, idx);
         return true;
@@ -383,9 +432,12 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
     if (!grant.admitted) {
         deferScratch_.push_back(
             DeferredAdmit{requested, floor_tokens, r.id});
-        // Second-life deferrals live inside c7 (preempt_loss), so
-        // only first-life ones open the kv_stall interval.
-        if (wf_ != nullptr && r.preemptions == 0)
+        // Deferrals after the first token live inside c7 (preempt /
+        // fault loss), so only pre-first-token ones open the
+        // kv_stall interval. (Preemption victims always carry a
+        // first token, so this is the old preemptions == 0 guard on
+        // fault-free runs.)
+        if (wf_ != nullptr && r.firstToken.sec() == 0.0)
             wf_->onDeferred(idx, queue_.now());
         if (trace_ != nullptr)
             trace_->deferred(queue_.now(), r.id, requested,
@@ -393,15 +445,17 @@ DeviceEngine::tryAdmitAt(std::size_t pos, std::size_t idx)
         return false;
     }
 
-    if (r.preemptions > 0)
+    if (secondLife(r))
         --waitingPreempted_;
     erase_at(pos, idx);
     admittedNowScratch_.push_back(idx);
     r.state = RequestState::Prefilling;
-    // A re-admitted preemption victim keeps its first-life admission
-    // stamp: (admitted - arrival) is the queue-wait metric, and the
-    // victim's first life was service, not queue.
-    if (r.preemptions == 0) {
+    // A re-admitted preemption (or fault-eviction) victim keeps its
+    // first-life admission stamp: (admitted - arrival) is the
+    // queue-wait metric, and the victim's first life was service,
+    // not queue. Victims that were never admitted — crashed out of
+    // the waiting queue, or client retries — stamp now.
+    if (r.admitted.sec() == 0.0) {
         r.admitted = queue_.now();
         if (wf_ != nullptr)
             wf_->onAdmitted(idx, queue_.now());
@@ -547,21 +601,27 @@ DeviceEngine::runPrefillChunk(const EngineStepPlan &plan)
                                   r.budgetGranted));
     const accel::StepReport &step =
         prefillChunkCost(r.prefilled, plan.chunkTokens);
+    // Slowdown faults stretch the step wall-clock, not its energy.
+    const Time lat = scaled(step.latency);
     metrics_.addEnergy(step.energy);
-    busy_ = busy_ + step.latency;
-    // Second-life (post-preemption) re-prefill is part of c7, not c3.
-    if (wf_ != nullptr && r.preemptions == 0)
-        wf_->onPrefillChunk(idx, step.latency.sec());
+    busy_ = busy_ + lat;
+    // Re-prefill after the first token is part of c7, not c3.
+    if (wf_ != nullptr && r.firstToken.sec() == 0.0)
+        wf_->onPrefillChunk(idx, lat.sec());
     if (trace_ != nullptr)
-        trace_->prefillStep(queue_.now(), step.latency, r.id,
+        trace_->prefillStep(queue_.now(), lat, r.id,
                             plan.chunkTokens,
                             step.energy.refresh.j());
-    // In-flight state in members, `this`-only capture: the callback
-    // stays inside std::function's small-object buffer (no per-step
-    // heap allocation).
+    // In-flight state in members, epoch + `this` capture (16 bytes):
+    // the callback stays inside std::function's small-object buffer
+    // (no per-step heap allocation). The epoch orphans the event if
+    // the device crashes before it fires.
     inFlightPrefillIdx_ = idx;
     inFlightPrefillTokens_ = plan.chunkTokens;
-    queue_.scheduleAfter(step.latency, [this] { onPrefillDone(); });
+    queue_.scheduleAfter(lat, [this, e = runEpoch_] {
+        if (e == runEpoch_)
+            onPrefillDone();
+    });
 }
 
 void
@@ -578,7 +638,12 @@ DeviceEngine::onPrefillDone()
         admitted_.erase(
             std::find(admitted_.begin(), admitted_.end(), idx));
         req.state = RequestState::Decoding;
-        if (req.preemptions == 0) {
+        // A restart re-emits a token the user already saw; requests
+        // evicted *before* their first token (crashed out of the
+        // waiting/prefilling queues, client retries) stamp the real
+        // first token whenever it finally lands.
+        const bool restart = req.firstToken.sec() > 0.0;
+        if (!restart) {
             req.firstToken = queue_.now();
             req.lastToken = req.firstToken;
             if (wf_ != nullptr)
@@ -598,7 +663,7 @@ DeviceEngine::onPrefillDone()
         ++prefills_;
         if (trace_ != nullptr)
             trace_->firstToken(queue_.now(), req.id);
-        if (cfg_.verbose && req.preemptions == 0)
+        if (cfg_.verbose && !restart)
             inform("t=", toString(queue_.now()), label_, " request #",
                    req.id, " first token (TTFT ",
                    toString(req.firstToken - req.arrival), ", ",
@@ -606,9 +671,10 @@ DeviceEngine::onPrefillDone()
                    " deadline), batch ", running_.size());
         else if (cfg_.verbose)
             inform("t=", toString(queue_.now()), label_, " request #",
-                   req.id,
-                   " resumed decoding after preemption, batch ",
-                   running_.size());
+                   req.id, " resumed decoding after ",
+                   req.preemptions > 0 ? "preemption"
+                                       : "device fault",
+                   ", batch ", running_.size());
     }
     engineBusy_ = false;
     dispatch();
@@ -723,12 +789,17 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
     for (std::size_t idx : plan.decodeBatch)
         residentScratch_.push_back(requests_[idx].residentTokens());
     const accel::StepReport *step = &decodeStepCost(residentScratch_);
+    // Slowdown faults stretch step wall-clock, not energy; the scale
+    // is constant inside a step window (fault instants bound every
+    // fast-forward horizon), so re-deriving `lat` after each re-cost
+    // keeps every consumer consistent.
+    Time lat = scaled(step->latency);
     metrics_.addEnergy(step->energy);
-    busy_ = busy_ + step->latency;
+    busy_ = busy_ + lat;
     inFlightBatch_.assign(plan.decodeBatch.begin(),
                           plan.decodeBatch.end());
     if (trace_ != nullptr)
-        trace_->decodeStep(queue_.now(), step->latency,
+        trace_->decodeStep(queue_.now(), lat,
                            inFlightBatch_.size(),
                            step->energy.refresh.j());
 
@@ -780,8 +851,16 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
         if (hooks_.nextExternalEvent) {
             // The owner vouches that nothing before this timestamp
             // can reach this engine (other devices' completions
-            // commute with our boundaries; see Hooks).
+            // commute with our boundaries; see Hooks). Our own
+            // pending client re-arrivals are invisible to the owner
+            // but enqueue into *this* engine, so they bound the
+            // window too.
             horizon = hooks_.nextExternalEvent();
+            if (!clientRetryAt_.empty()) {
+                const Time cr = minClientRetryAt();
+                if (cr < horizon)
+                    horizon = cr;
+            }
             bounded = horizon.sec() <
                       std::numeric_limits<double>::infinity();
         } else {
@@ -794,7 +873,7 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
             n_sum += n;
         const std::size_t batch_size = inFlightBatch_.size();
         while (silent > 0) {
-            const Time tn = t + step->latency;
+            const Time tn = t + lat;
             if (bounded && !(tn < horizon))
                 break;
             bool doomed = false;
@@ -809,7 +888,7 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
             t = tn;
             // Waterfall shares are charged from the step that just
             // ended — `step` is re-costed only below.
-            const double ended_step_sec = step->latency.sec();
+            const double ended_step_sec = lat.sec();
             std::size_t growth = 0;
             for (std::size_t idx : inFlightBatch_) {
                 Request &r = requests_[idx];
@@ -889,11 +968,12 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
             // Mirror the event path's per-boundary decode slice: the
             // step *starting* at this boundary, costed after any
             // resident growth.
+            lat = scaled(step->latency);
             if (trace_ != nullptr)
-                trace_->decodeStep(t, step->latency, batch_size,
+                trace_->decodeStep(t, lat, batch_size,
                                    step->energy.refresh.j());
             metrics_.addEnergy(step->energy);
-            busy_ = busy_ + step->latency;
+            busy_ = busy_ + lat;
             --silent;
         }
         if (profiler_ != nullptr)
@@ -904,8 +984,11 @@ DeviceEngine::runDecodeStep(const EngineStepPlan &plan)
                     .count(),
                 fastForwarded_ - ff_before);
     }
-    inFlightStepLatency_ = step->latency;
-    queue_.schedule(t + step->latency, [this] { onDecodeDone(); });
+    inFlightStepLatency_ = lat;
+    queue_.schedule(t + lat, [this, e = runEpoch_] {
+        if (e == runEpoch_)
+            onDecodeDone();
+    });
 }
 
 void
@@ -952,6 +1035,234 @@ DeviceEngine::finishRequest(std::size_t idx)
         inform("t=", toString(queue_.now()), label_, " request #",
                r.id, " completed (", r.generated, " tokens, e2e ",
                toString(r.completed - r.arrival), ")");
+}
+
+Time
+DeviceEngine::minClientRetryAt() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &e : clientRetryAt_)
+        best = std::min(best, e.first.sec());
+    return Time::seconds(best);
+}
+
+void
+DeviceEngine::fireClientRetry()
+{
+    KELLE_ASSERT(!clientRetryAt_.empty(),
+                 "client retry fired with none pending");
+    // Min (at, insertion order): matches the event queue's
+    // (time, seq) order for the schedule() calls that created them.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < clientRetryAt_.size(); ++i) {
+        if (clientRetryAt_[i].first < clientRetryAt_[best].first)
+            best = i;
+    }
+    const std::size_t idx = clientRetryAt_[best].second;
+    KELLE_ASSERT(!(queue_.now() < clientRetryAt_[best].first),
+                 "client retry fired early");
+    clientRetryAt_.erase(clientRetryAt_.begin() +
+                         static_cast<std::ptrdiff_t>(best));
+    if (crashed_) {
+        // The device died while the client was backing off: burn
+        // another retry (or fail terminally through the reject path).
+        rejectRequest(idx, minBudget(requests_[idx].task));
+        return;
+    }
+    enqueue(idx);
+}
+
+void
+DeviceEngine::crashAt(Time t, std::vector<std::size_t> *victims,
+                      std::uint64_t *lost_tokens)
+{
+    KELLE_ASSERT(!crashed_, "crash on an already-down device");
+    crashed_ = true;
+    // Orphan the in-flight step: its completion event pops as a
+    // no-op. Its latency/energy stay charged — the accelerator was
+    // mid-step when it died.
+    ++runEpoch_;
+    engineBusy_ = false;
+    lastStep_ = EngineStepKind::Idle;
+    lastRoundAllDeferred_ = false;
+    if (trace_ != nullptr)
+        trace_->deviceFault(t, 0, 0.0);
+    victims->clear();
+    *lost_tokens = 0;
+    // Deterministic drain order: running, admitted, waiting.
+    for (std::size_t idx : running_)
+        victims->push_back(idx);
+    for (std::size_t idx : admitted_)
+        victims->push_back(idx);
+    for (std::size_t idx : waiting_)
+        victims->push_back(idx);
+    running_.clear();
+    admitted_.clear();
+    waiting_.clear();
+    waitingPreempted_ = 0;
+    inFlightBatch_.clear();
+    for (std::size_t idx : *victims) {
+        Request &r = requests_[idx];
+        // Regeneration cost: every KV-resident token must rerun.
+        const std::uint64_t work =
+            static_cast<std::uint64_t>(r.prefilled + r.generated);
+        r.lostTokens += work;
+        *lost_tokens += work;
+        r.faulted = true;
+        r.state = RequestState::Waiting;
+        r.prefilled = 0;
+        r.generated = 0;
+        r.budgetRequested = 0;
+        r.budgetGranted = 0;
+        r.kvBytesReserved = 0.0;
+        if (grants_[idx].admitted)
+            allocator_.release(grants_[idx]);
+        if (trace_ != nullptr)
+            trace_->faultEvicted(t, r.id, work);
+        if (wf_ != nullptr)
+            wf_->onFaultEvict(idx, t);
+    }
+    if (trace_ != nullptr) {
+        trace_->queueDepth(t, 0);
+        trace_->kvInUse(t, allocator_.inUseBytes());
+        tracePagedCounters(t);
+    }
+    if (cfg_.verbose)
+        inform("t=", toString(t), label_, " DEVICE CRASH: ",
+               victims->size(), " request(s) evicted, ",
+               *lost_tokens, " token(s) of KV lost");
+}
+
+void
+DeviceEngine::recoverAt(Time t)
+{
+    KELLE_ASSERT(crashed_, "recovering a device that is not down");
+    crashed_ = false;
+    if (trace_ != nullptr)
+        trace_->deviceRecover(t, 0);
+    if (cfg_.verbose)
+        inform("t=", toString(t), label_,
+               " device recovered from crash, accepting work");
+}
+
+void
+DeviceEngine::slowdownAt(Time t, double factor)
+{
+    KELLE_ASSERT(factor >= 1.0, "slowdown must not speed up");
+    latencyScale_ = factor;
+    if (trace_ != nullptr)
+        trace_->deviceFault(t, 1, factor);
+    if (cfg_.verbose)
+        inform("t=", toString(t), label_,
+               " device slowdown: step latency x", factor);
+}
+
+void
+DeviceEngine::shrinkPoolAt(Time t, double factor)
+{
+    allocator_.setCapacityScale(factor);
+    lastRoundAllDeferred_ = false; // admission verdicts changed
+    if (trace_ != nullptr)
+        trace_->deviceFault(t, 2, factor);
+    if (cfg_.verbose)
+        inform("t=", toString(t), label_,
+               " eDRAM degrade: KV capacity x", factor);
+}
+
+void
+DeviceEngine::restoreAt(Time t, int kind_code)
+{
+    if (kind_code == 1) {
+        latencyScale_ = 1.0;
+    } else {
+        allocator_.setCapacityScale(1.0);
+        lastRoundAllDeferred_ = false;
+    }
+    if (trace_ != nullptr)
+        trace_->deviceRecover(t, kind_code);
+    if (cfg_.verbose)
+        inform("t=", toString(t), label_, " device recovered from ",
+               kind_code == 1 ? "slowdown" : "pool degrade");
+    // Restored capacity can admit blocked waiters right away.
+    if (kind_code == 2)
+        dispatch();
+}
+
+std::size_t
+DeviceEngine::pressureReclaimAt(Time t)
+{
+    if (!allocator_.paged())
+        return 0; // contiguous reservations have no idle tails
+    lastRoundAllDeferred_ = false;
+    std::size_t freed = allocator_.dropCachedPrefixes();
+    freed += reclaimRunningTails();
+    if (freed > 0 && trace_ != nullptr) {
+        trace_->kvInUse(t, allocator_.inUseBytes());
+        tracePagedCounters(t);
+    }
+    // Freed pages can admit blocked waiters right away.
+    dispatch();
+    return freed;
+}
+
+void
+DeviceEngine::shedStaleWaitingAt(Time t,
+                                 std::vector<std::size_t> *shed)
+{
+    if (waiting_.empty())
+        return;
+    const std::size_t shed_before = shed->size();
+    auto it = waiting_.begin();
+    while (it != waiting_.end()) {
+        Request &r = requests_[*it];
+        // Only pre-first-token waiters whose TTFT deadline already
+        // expired: their admission can no longer meet the SLO here,
+        // so hand them back for re-dispatch instead of serving a
+        // guaranteed miss under fleet-wide pressure.
+        const bool expired = r.ttftDeadlineSec > 0.0 &&
+                             r.firstToken.sec() == 0.0 &&
+                             r.ttftDeadline() < t;
+        if (!expired) {
+            ++it;
+            continue;
+        }
+        if (secondLife(r))
+            --waitingPreempted_;
+        r.faulted = true;
+        shed->push_back(*it);
+        if (trace_ != nullptr)
+            trace_->faultEvicted(t, r.id, 0);
+        if (wf_ != nullptr)
+            wf_->onFaultEvict(*it, t);
+        if (cfg_.verbose)
+            inform("t=", toString(t), label_, " request #", r.id,
+                   " shed under fleet pressure (TTFT deadline "
+                   "expired)");
+        it = waiting_.erase(it);
+    }
+    if (shed->size() != shed_before) {
+        lastRoundAllDeferred_ = false;
+        metrics_.sampleQueueDepth(waiting_.size());
+        if (trace_ != nullptr)
+            trace_->queueDepth(t, waiting_.size());
+    }
+}
+
+void
+DeviceEngine::failRequestAt(Time t, std::size_t idx)
+{
+    Request &r = requests_[idx];
+    r.state = RequestState::Rejected;
+    r.faultFailed = true;
+    r.faulted = true;
+    metrics_.onRejected(r);
+    if (wf_ != nullptr)
+        wf_->onFaultFailed(idx, t, wfDevice_);
+    if (trace_ != nullptr)
+        trace_->faultFailed(t, r.id);
+    if (cfg_.verbose)
+        inform("t=", toString(t), label_, " request #", r.id,
+               " permanently failed: fault-retry budget exhausted");
 }
 
 } // namespace serving

@@ -128,6 +128,18 @@ struct DeviceConfig
     /** Safety cap on this device's engine steps; 0 = unlimited. */
     std::uint64_t maxEngineSteps = 0;
     /**
+     * Client-side retry budget for overload rejections (satellite of
+     * ISSUE 10): instead of failing terminally, a rejected request
+     * re-arrives after a seeded backoff, up to this many times. 0 (the
+     * default) keeps the legacy immediate-reject path bit-identical.
+     * The backoff stream is a pure hash of (request id, attempt) —
+     * independent of the arrival-trace RNG, so the base arrival trace
+     * stays byte-identical whether retries are on or off.
+     */
+    std::uint32_t clientRetries = 0;
+    /** Mean client re-arrival backoff, seconds (jittered 0.5-1.5x). */
+    double clientRetryBackoffSec = 5.0;
+    /**
      * Bit-identical simulation fast path: memoized step costing plus
      * fast-forwarding of provably identical decode steps. Off reverts
      * to uncached step-at-a-time execution (the equivalence oracle
@@ -245,6 +257,62 @@ class DeviceEngine
     Time nextPossibleRequeueTime(Time now) const;
     /** @} */
 
+    /**
+     * @name Fault surface (src/faults), driven by the cluster engine.
+     * Every method takes the fault instant `t` and requires the bound
+     * event queue to have been advanced to `t` (`queue_.now() == t`),
+     * so any admission or trace activity it triggers stamps the fault
+     * time. All device-track trace writes stay on this engine — the
+     * single-writer contract the parallel coordinator relies on (it
+     * calls these only with the worker pool joined).
+     * @{
+     */
+    /**
+     * Device crash: every resident request (running, admitted,
+     * waiting — in that drain order) loses its KV and its progress
+     * and is appended to `victims` for the owner to re-dispatch;
+     * `lost_tokens` accumulates the prefill+decode tokens discarded
+     * (the regeneration cost). The engine empties completely — the
+     * allocator ends at zero in-use — and refuses new work until
+     * `recoverAt`. The pending step-completion event is orphaned by
+     * an epoch bump and pops as a no-op.
+     */
+    void crashAt(Time t, std::vector<std::size_t> *victims,
+                 std::uint64_t *lost_tokens);
+    /** Crash repair done: accept dispatches again. */
+    void recoverAt(Time t);
+    /** Transient compute degradation: scale step latencies. */
+    void slowdownAt(Time t, double factor);
+    /** eDRAM degrade: scale the KV capacity admission sees. */
+    void shrinkPoolAt(Time t, double factor);
+    /** Recovery of a non-crash disruption; `kind_code` mirrors the
+     *  faults::FaultKind value (1 slowdown, 2 pool shrink). */
+    void restoreAt(Time t, int kind_code);
+    /**
+     * Graceful-degradation ladder, rung 1-2: drop cached shared-
+     * prefix pages, then reclaim idle tail pages from running grants
+     * (paged mode; contiguous pools have nothing reclaimable).
+     * Returns pages freed. Re-runs dispatch so freed pages can admit
+     * blocked waiters immediately.
+     */
+    std::size_t pressureReclaimAt(Time t);
+    /**
+     * Ladder rung 3: shed waiting requests whose TTFT deadline has
+     * already expired, appending them to `shed` for the owner to
+     * re-dispatch through the retry path.
+     */
+    void shedStaleWaitingAt(Time t, std::vector<std::size_t> *shed);
+    /**
+     * Terminal fault failure: the owner's retry budget for `idx` ran
+     * out. Counts as a rejection in the SLO metrics, lands in the
+     * waterfall with the fault flag, and closes the request's trace
+     * span with outcome "failed".
+     */
+    void failRequestAt(Time t, std::size_t idx);
+    bool crashed() const { return crashed_; }
+    double latencyScale() const { return latencyScale_; }
+    /** @} */
+
     /** @name Run outcome, read by the owner after the queue drains. @{ */
     const ServingMetrics &metrics() const { return metrics_; }
     std::uint64_t engineSteps() const { return engineSteps_; }
@@ -297,6 +365,35 @@ class DeviceEngine
                                               std::size_t chunk_len);
     void finishRequest(std::size_t idx);
     void rejectRequest(std::size_t idx, std::size_t floor_tokens);
+    /** A request re-entering the queue after a first life (preempt,
+     *  fault eviction, or client retry): enqueue logs a requeue, not
+     *  an arrival, and the bypass accounting treats it as an old id
+     *  arriving late. */
+    static bool
+    secondLife(const Request &r)
+    {
+        return r.preemptions > 0 || r.faultRetries > 0 ||
+               r.clientRetries > 0;
+    }
+    /** Step latency under a slowdown fault (identity at scale 1.0,
+     *  so the healthy path is bit-exact). */
+    Time
+    scaled(Time lat) const
+    {
+        return latencyScale_ == 1.0
+                   ? lat
+                   : Time::seconds(lat.sec() * latencyScale_);
+    }
+    /** Earliest pending client re-arrival (+inf when none): the
+     *  decode fast-forward window must stop before it even when the
+     *  owner's nextExternalEvent hook vouches for a later horizon —
+     *  the re-arrival enqueues into *this* engine. */
+    Time minClientRetryAt() const;
+    /** Pop the earliest pending client re-arrival (ties: earliest
+     *  scheduled, matching the event queue's seq order) and re-enqueue
+     *  it — or re-enter the reject path if the device crashed while
+     *  the client was backing off. */
+    void fireClientRetry();
     /** Paged mode: ensure `idx`'s chain holds `tokens`, clamping the
      *  budget to the chain's capacity when the pool is exhausted
      *  (never below the floor acquired at admission). */
@@ -380,6 +477,21 @@ class DeviceEngine
 
     bool engineBusy_ = false;
     bool truncated_ = false;
+    /** @name Fault state (src/faults; inert without an injector). @{ */
+    /** Down after crashAt until recoverAt: dispatch and enqueue are
+     *  refused (the cluster blacklists the device; client retries
+     *  re-enter the reject path). */
+    bool crashed_ = false;
+    /** Slowdown-fault step-latency multiplier (1.0 = healthy). */
+    double latencyScale_ = 1.0;
+    /** Bumped by crashAt: completion callbacks capture the epoch at
+     *  schedule time and no-op when it no longer matches, orphaning
+     *  the in-flight step of a crashed device. */
+    std::uint32_t runEpoch_ = 0;
+    /** Pending client re-arrivals (instant, request idx), unordered;
+     *  linear scans — retries are rare. */
+    std::vector<std::pair<Time, std::size_t>> clientRetryAt_;
+    /** @} */
     EngineStepKind lastStep_ = EngineStepKind::Idle;
     std::size_t dispatched_ = 0;
     std::uint64_t engineSteps_ = 0;

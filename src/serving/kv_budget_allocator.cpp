@@ -43,6 +43,23 @@ KvBudgetAllocator::tryAdmit(std::size_t requested_tokens,
                  "floor must be positive and <= requested budget");
 
     if (pool_ != nullptr) {
+        // Degraded eDRAM (pool-shrink fault): admission only sees the
+        // scaled page budget. Conservative on prefix hits — a covered
+        // floor may still be deferred — but deterministic, and never
+        // touches the healthy (scale == 1.0) path.
+        if (capacityScale_ < 1.0) {
+            const std::size_t floor_pages =
+                (min_tokens + pool_->blockTokens() - 1) /
+                pool_->blockTokens();
+            const double cap_pages =
+                capacityScale_ *
+                static_cast<double>(pool_->totalPages());
+            if (static_cast<double>(pool_->usedPages() +
+                                    floor_pages) > cap_pages) {
+                ++deferrals_;
+                return Grant{};
+            }
+        }
         // Page-granular admission: reserve only the protected floor
         // now (attaching shared prefix pages copy-free); the rest of
         // the budget materializes lazily through growChain.
@@ -58,7 +75,7 @@ KvBudgetAllocator::tryAdmit(std::size_t requested_tokens,
             // pages: beyond the capacity already reserved, promise
             // only what keeps the pool below the watermark.
             const double mark_pages =
-                highWatermark_ *
+                highWatermark_ * capacityScale_ *
                     static_cast<double>(pool_->totalPages()) -
                 static_cast<double>(pool_->usedPages());
             const std::size_t below_mark =
@@ -83,17 +100,20 @@ KvBudgetAllocator::tryAdmit(std::size_t requested_tokens,
         return g;
     }
 
-    const double free_bytes = capacityBytes_ - inUseBytes_;
+    // Pool-shrink faults scale the capacity admission sees; the
+    // multiply by 1.0 on the healthy path is bit-exact.
+    const double cap_bytes = capacityScale_ * capacityBytes_;
+    const double free_bytes = cap_bytes - inUseBytes_;
     const double full_bytes =
         static_cast<double>(requested_tokens) * bytesPerToken_;
 
     std::size_t tokens = requested_tokens;
     if (full_bytes > free_bytes ||
-        (inUseBytes_ + full_bytes) / capacityBytes_ > highWatermark_) {
+        (inUseBytes_ + full_bytes) / cap_bytes > highWatermark_) {
         // Eviction-pressure feedback: grant the largest budget that
         // stays below the watermark, never below the protected floor.
         const double below_mark =
-            std::max(0.0, highWatermark_ * capacityBytes_ - inUseBytes_);
+            std::max(0.0, highWatermark_ * cap_bytes - inUseBytes_);
         tokens = static_cast<std::size_t>(below_mark / bytesPerToken_);
         tokens = std::clamp(tokens, min_tokens, requested_tokens);
     }
@@ -184,6 +204,20 @@ KvBudgetAllocator::publishPrefix(const Grant &grant,
     KELLE_ASSERT(pool_ != nullptr && grant.admitted,
                  "publishing from a non-paged or empty grant");
     pool_->publishPrefix(grant.chainId, key, tokens);
+}
+
+void
+KvBudgetAllocator::setCapacityScale(double scale)
+{
+    KELLE_ASSERT(scale > 0.0 && scale <= 1.0,
+                 "capacity scale outside (0, 1]");
+    capacityScale_ = scale;
+}
+
+std::size_t
+KvBudgetAllocator::dropCachedPrefixes()
+{
+    return pool_ != nullptr ? pool_->dropCachedPrefixes() : 0;
 }
 
 std::size_t

@@ -117,6 +117,21 @@ class KvBudgetAllocator
     const kv::KvPagePool *pagePool() const { return pool_.get(); }
     /** @} */
 
+    /** @name Fault degradation (src/faults). @{ */
+    /**
+     * eDRAM-degrade: scale the capacity *admission sees* to
+     * `scale x` the real pool (graceful pool-shrink fault). Live
+     * grants keep their reservations — only new admissions and the
+     * watermark feedback contract; restoring 1.0 is bit-exact with a
+     * never-scaled allocator, so faults-off digests are untouched.
+     */
+    void setCapacityScale(double scale);
+    double capacityScale() const { return capacityScale_; }
+    /** Fault-pressure reclaim: drop all cached shared-prefix pages
+     *  (paged mode; 0 in contiguous mode). Returns pages freed. */
+    std::size_t dropCachedPrefixes();
+    /** @} */
+
     double capacityBytes() const { return capacityBytes_; }
     double inUseBytes() const;
     double peakInUseBytes() const;
@@ -142,6 +157,7 @@ class KvBudgetAllocator
     double capacityBytes_;
     double bytesPerToken_;
     double highWatermark_;
+    double capacityScale_ = 1.0; ///< pool-shrink fault degradation
     std::unique_ptr<kv::KvPagePool> pool_; ///< null = contiguous
 
     double inUseBytes_ = 0.0;

@@ -41,6 +41,8 @@ deviceConfigFrom(const ServingConfig &cfg)
     d.poolTokens = cfg.poolTokens;
     d.highWatermark = cfg.highWatermark;
     d.maxEngineSteps = cfg.maxEngineSteps;
+    d.clientRetries = cfg.clientRetries;
+    d.clientRetryBackoffSec = cfg.clientRetryBackoffSec;
     d.fastSim = cfg.fastSim;
     d.verbose = cfg.verbose;
     d.profiler = cfg.profiler;

@@ -83,6 +83,17 @@ struct ServingConfig
      *  iterations); 0 = run the trace to completion. */
     std::uint64_t maxEngineSteps = 0;
     /**
+     * Client-side retry of overload rejections: a request whose floor
+     * exceeds the pool re-arrives up to this many times after a
+     * deterministic backoff instead of terminating (0 = off; see
+     * DeviceConfig::clientRetries). The base arrival trace is
+     * byte-identical either way — retries are engine-side re-arrivals
+     * of already-generated requests.
+     */
+    std::uint32_t clientRetries = 0;
+    /** Client-retry backoff base in seconds (jittered by request). */
+    double clientRetryBackoffSec = 5.0;
+    /**
      * Bit-identical simulation fast path (step-cost memoization +
      * decode fast-forward; see device_engine.hpp). Off runs the
      * uncached step-at-a-time core — the equivalence-test oracle and

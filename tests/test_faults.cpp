@@ -1,0 +1,472 @@
+/**
+ * @file
+ * The fault-injection determinism and recovery contract (src/faults +
+ * cluster engine integration):
+ *
+ *  - FaultInjector: the merged per-device renewal stream is a pure
+ *    function of (seed, device index, config) — identical across
+ *    constructions and independent of fleet size.
+ *  - FaultNull: a disabled config is a null test — no injector, empty
+ *    fault report, Healthy fleet (the byte-level half of this
+ *    contract is pinned by the unchanged pre-fault golden digests).
+ *  - FaultDeterminism: a fixed fault seed produces bit-identical
+ *    ClusterReports and trace bytes across threads {1,2,4} x fastSim
+ *    on/off x preempt on/off.
+ *  - FaultCrash: crash-eviction invariants — every request terminal,
+ *    lost work accounted, the retry budget respected, permanent
+ *    failures marked, Down devices fully released.
+ *  - FaultTrace: the offline reader parses fault traces with zero
+ *    unknown events and reconstructs the device_fault miss cause.
+ *  - ClientRetry: overload-rejection resubmits respect their budget
+ *    and never perturb the base arrival trace.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_engine.hpp"
+#include "faults/fault_injector.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace kelle {
+namespace {
+
+std::vector<std::pair<sim::Task, double>>
+tinyMix()
+{
+    return {{sim::scaledForTiny(sim::lambada(), 96), 1.0},
+            {sim::scaledForTiny(sim::triviaQa(), 128), 1.0}};
+}
+
+/** Fault timescales matched to the tiny-model sim (sub-second runs). */
+faults::FaultConfig
+tinyFaults(std::uint64_t seed = 42)
+{
+    faults::FaultConfig f;
+    f.enabled = true;
+    f.mtbfSec = 0.02;
+    f.mttrSec = 0.01;
+    f.recoverWarmupSec = 0.005;
+    f.retryBackoffSec = 0.002;
+    f.retryBackoffCapSec = 0.05;
+    f.seed = seed;
+    return f;
+}
+
+cluster::ClusterConfig
+tinyFaultCluster(std::size_t n_devices, std::uint64_t seed = 42,
+                 std::size_t requests = 24)
+{
+    serving::ServingConfig cfg;
+    cfg.model = model::tinyLm();
+    cfg.system = accel::kelleEdramSystem(2048);
+    cfg.policy = serving::SchedulePolicy::ContinuousBatching;
+    cfg.maxBatch = 4;
+    cfg.poolTokens = 512;
+    cfg.traffic.ratePerSec = 300.0;
+    cfg.traffic.seed = seed;
+    cfg.traffic.numRequests = requests;
+    cfg.traffic.mix = tinyMix();
+    auto ccfg = cluster::clusterConfigFrom(
+        cfg, n_devices, cluster::DispatchKind::RoundRobin);
+    ccfg.faults = tinyFaults(seed);
+    return ccfg;
+}
+
+void
+expectFaultReportsEqual(const cluster::ClusterFaultReport &a,
+                        const cluster::ClusterFaultReport &b,
+                        const std::string &label)
+{
+    EXPECT_EQ(a.enabled, b.enabled) << label;
+    EXPECT_EQ(a.totalDowntimeSec, b.totalDowntimeSec) << label;
+    EXPECT_EQ(a.crashes, b.crashes) << label;
+    EXPECT_EQ(a.slowdowns, b.slowdowns) << label;
+    EXPECT_EQ(a.shrinks, b.shrinks) << label;
+    EXPECT_EQ(a.lostTokens, b.lostTokens) << label;
+    EXPECT_EQ(a.retries, b.retries) << label;
+    EXPECT_EQ(a.retrySuccesses, b.retrySuccesses) << label;
+    EXPECT_EQ(a.shedRequests, b.shedRequests) << label;
+    EXPECT_EQ(a.permanentFailures, b.permanentFailures) << label;
+    ASSERT_EQ(a.devices.size(), b.devices.size()) << label;
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        EXPECT_EQ(a.devices[i].crashes, b.devices[i].crashes)
+            << label << " dev" << i;
+        EXPECT_EQ(a.devices[i].downtimeSec, b.devices[i].downtimeSec)
+            << label << " dev" << i;
+    }
+}
+
+struct FaultRun
+{
+    cluster::ClusterReport report;
+    std::vector<serving::Request> requests;
+    std::string traceJson;
+    std::vector<cluster::DeviceHealth> health;
+    std::vector<double> allocatorInUseBytes;
+};
+
+FaultRun
+runFaultCell(cluster::ClusterConfig cfg, std::size_t threads,
+             bool fast_sim)
+{
+    obs::TraceRecorder rec;
+    cfg.threads = threads;
+    cfg.engine.fastSim = fast_sim;
+    cfg.engine.trace = &rec;
+    cluster::ClusterEngine engine(cfg);
+    FaultRun out;
+    out.report = engine.run();
+    out.requests = engine.requests();
+    out.traceJson = rec.toJson();
+    for (std::size_t i = 0; i < engine.deviceCount(); ++i) {
+        out.health.push_back(engine.health(i));
+        out.allocatorInUseBytes.push_back(
+            engine.device(i).allocator().inUseBytes());
+    }
+    return out;
+}
+
+// ---- FaultInjector ------------------------------------------------------
+
+TEST(FaultInjector, StreamIsDeterministic)
+{
+    const faults::FaultConfig cfg = tinyFaults(7);
+    faults::FaultInjector a(cfg, 3);
+    faults::FaultInjector b(cfg, 3);
+    for (int i = 0; i < 500; ++i) {
+        const faults::FaultEvent ea = a.pop();
+        const faults::FaultEvent eb = b.pop();
+        EXPECT_EQ(ea.at.sec(), eb.at.sec()) << i;
+        EXPECT_EQ(ea.device, eb.device) << i;
+        EXPECT_EQ(ea.kind, eb.kind) << i;
+        EXPECT_EQ(ea.cause, eb.cause) << i;
+        // The merged stream is chronological.
+        EXPECT_LE(ea.at.sec(), a.nextEventTime().sec()) << i;
+    }
+}
+
+TEST(FaultInjector, StreamIndependentOfFleetSize)
+{
+    const faults::FaultConfig cfg = tinyFaults(11);
+    faults::FaultInjector small(cfg, 1);
+    faults::FaultInjector large(cfg, 4);
+    // Device 0's history must not depend on how many peers exist.
+    for (int seen = 0; seen < 100;) {
+        const faults::FaultEvent el = large.pop();
+        if (el.device != 0)
+            continue;
+        const faults::FaultEvent es = small.pop();
+        EXPECT_EQ(es.at.sec(), el.at.sec()) << seen;
+        EXPECT_EQ(es.kind, el.kind) << seen;
+        EXPECT_EQ(es.cause, el.cause) << seen;
+        ++seen;
+    }
+}
+
+TEST(FaultInjector, KindWeightsAreRespected)
+{
+    faults::FaultConfig cfg = tinyFaults(3);
+    cfg.slowdownWeight = 0.0;
+    cfg.shrinkWeight = 0.0;
+    faults::FaultInjector inj(cfg, 2);
+    for (int i = 0; i < 200; ++i) {
+        const faults::FaultEvent ev = inj.pop();
+        EXPECT_TRUE(ev.kind == faults::FaultKind::Crash ||
+                    ev.kind == faults::FaultKind::Recover ||
+                    ev.kind == faults::FaultKind::RecoverDone)
+            << toString(ev.kind);
+        if (ev.kind != faults::FaultKind::Crash) {
+            EXPECT_EQ(ev.cause, faults::FaultKind::Crash);
+        }
+    }
+}
+
+// ---- FaultNull ----------------------------------------------------------
+
+TEST(FaultNull, DisabledConfigKeepsReportEmptyAndFleetHealthy)
+{
+    cluster::ClusterConfig cfg = tinyFaultCluster(2);
+    cfg.faults = faults::FaultConfig{}; // disabled
+    cluster::ClusterEngine engine(cfg);
+    const cluster::ClusterReport rep = engine.run();
+    EXPECT_FALSE(rep.faults.enabled);
+    EXPECT_EQ(rep.faults.crashes, 0u);
+    EXPECT_EQ(rep.faults.retries, 0u);
+    EXPECT_EQ(rep.faults.lostTokens, 0u);
+    EXPECT_EQ(rep.faults.totalDowntimeSec, 0.0);
+    EXPECT_TRUE(rep.faults.devices.empty());
+    for (std::size_t i = 0; i < engine.deviceCount(); ++i)
+        EXPECT_EQ(engine.health(i), cluster::DeviceHealth::Healthy);
+    for (const serving::Request &r : engine.requests()) {
+        EXPECT_EQ(r.faultRetries, 0u);
+        EXPECT_EQ(r.lostTokens, 0u);
+        EXPECT_FALSE(r.faulted);
+        EXPECT_FALSE(r.faultFailed);
+    }
+}
+
+// ---- FaultDeterminism ---------------------------------------------------
+
+TEST(FaultDeterminism, ThreadsAndFastSimBitIdentical)
+{
+    for (std::uint64_t seed : {5u, 42u}) {
+        const cluster::ClusterConfig cfg = tinyFaultCluster(3, seed);
+        const FaultRun serial = runFaultCell(cfg, 1, true);
+        // The fault stream must actually do something in this cell or
+        // the invariance below is vacuous.
+        ASSERT_GT(serial.report.faults.crashes +
+                      serial.report.faults.slowdowns +
+                      serial.report.faults.shrinks,
+                  0u);
+        for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+            for (bool fast : {true, false}) {
+                std::string label = "s";
+                label += std::to_string(seed);
+                label += "/t";
+                label += std::to_string(threads);
+                label += fast ? "/fast" : "/slow";
+                const FaultRun par = runFaultCell(cfg, threads, fast);
+                EXPECT_EQ(serial.traceJson, par.traceJson) << label;
+                expectFaultReportsEqual(serial.report.faults,
+                                        par.report.faults, label);
+                EXPECT_EQ(serial.report.aggregate.summary.completed,
+                          par.report.aggregate.summary.completed)
+                    << label;
+                EXPECT_EQ(serial.report.aggregate.summary.rejected,
+                          par.report.aggregate.summary.rejected)
+                    << label;
+                EXPECT_EQ(
+                    serial.report.aggregate.summary.goodputTokensPerSec,
+                    par.report.aggregate.summary.goodputTokensPerSec)
+                    << label;
+                ASSERT_EQ(serial.health.size(), par.health.size());
+                for (std::size_t i = 0; i < serial.health.size(); ++i)
+                    EXPECT_EQ(serial.health[i], par.health[i])
+                        << label << " dev" << i;
+            }
+        }
+    }
+}
+
+TEST(FaultDeterminism, PreemptionComposesBitIdentically)
+{
+    cluster::ClusterConfig cfg = tinyFaultCluster(3, 42);
+    cfg.engine.preempt.enabled = true;
+    cfg.engine.traffic.ratePerSec = 500.0;
+    const FaultRun serial = runFaultCell(cfg, 1, true);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        for (bool fast : {true, false}) {
+            const FaultRun par = runFaultCell(cfg, threads, fast);
+            EXPECT_EQ(serial.traceJson, par.traceJson)
+                << "t" << threads << (fast ? "/fast" : "/slow");
+            expectFaultReportsEqual(serial.report.faults,
+                                    par.report.faults,
+                                    "preempt/t" +
+                                        std::to_string(threads));
+        }
+    }
+}
+
+// ---- FaultCrash ---------------------------------------------------------
+
+/** Crash-only stream at an aggressive rate: every recovery knob and
+ *  retry path fires. */
+cluster::ClusterConfig
+crashyCluster(std::uint64_t seed = 42)
+{
+    cluster::ClusterConfig cfg = tinyFaultCluster(2, seed);
+    cfg.faults.slowdownWeight = 0.0;
+    cfg.faults.shrinkWeight = 0.0;
+    cfg.faults.mtbfSec = 0.01;
+    return cfg;
+}
+
+TEST(FaultCrash, EveryRequestTerminalAndLostWorkAccounted)
+{
+    cluster::ClusterEngine engine(crashyCluster());
+    const cluster::ClusterReport rep = engine.run();
+    ASSERT_GT(rep.faults.crashes, 0u);
+    EXPECT_GT(rep.faults.totalDowntimeSec, 0.0);
+
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t retry_successes = 0;
+    std::uint64_t permanent = 0;
+    for (const serving::Request &r : engine.requests()) {
+        EXPECT_TRUE(r.state == serving::RequestState::Completed ||
+                    r.state == serving::RequestState::Rejected)
+            << "request " << r.id << " not terminal: "
+            << toString(r.state);
+        if (r.state == serving::RequestState::Completed) {
+            ++completed;
+            if (r.faultRetries > 0)
+                ++retry_successes;
+            EXPECT_FALSE(r.faultFailed);
+        } else {
+            ++rejected;
+        }
+        if (r.faultFailed) {
+            ++permanent;
+            EXPECT_EQ(r.state, serving::RequestState::Rejected);
+            // A permanent failure means the budget was exhausted.
+            EXPECT_EQ(r.faultRetries, 3u);
+        }
+        retries += r.faultRetries;
+        EXPECT_LE(r.faultRetries, 3u);
+    }
+    EXPECT_EQ(completed, rep.aggregate.summary.completed);
+    EXPECT_EQ(rejected, rep.aggregate.summary.rejected);
+    EXPECT_EQ(completed + rejected, engine.requests().size());
+    EXPECT_EQ(retries, rep.faults.retries);
+    EXPECT_EQ(retry_successes, rep.faults.retrySuccesses);
+    EXPECT_EQ(permanent, rep.faults.permanentFailures);
+
+    // Crash evictions drop resident KV: lost work is visible whenever
+    // a decode-phase victim existed.
+    std::uint64_t lost = 0;
+    for (const serving::Request &r : engine.requests())
+        lost += r.lostTokens;
+    EXPECT_EQ(lost, rep.faults.lostTokens);
+
+    // Per-device crash counts sum to the fleet total.
+    std::uint64_t dev_crashes = 0;
+    double dev_down = 0.0;
+    for (const auto &d : rep.faults.devices) {
+        dev_crashes += d.crashes;
+        dev_down += d.downtimeSec;
+    }
+    EXPECT_EQ(dev_crashes, rep.faults.crashes);
+    EXPECT_DOUBLE_EQ(dev_down, rep.faults.totalDowntimeSec);
+}
+
+TEST(FaultCrash, RetryBudgetRespected)
+{
+    cluster::ClusterConfig cfg = crashyCluster();
+    cfg.faults.maxRetries = 1;
+    cluster::ClusterEngine engine(cfg);
+    const cluster::ClusterReport rep = engine.run();
+    ASSERT_GT(rep.faults.crashes, 0u);
+    for (const serving::Request &r : engine.requests()) {
+        EXPECT_LE(r.faultRetries, 1u);
+        if (r.faultFailed) {
+            EXPECT_EQ(r.faultRetries, 1u);
+        }
+    }
+}
+
+TEST(FaultCrash, DownDevicesHoldNoKv)
+{
+    // Any device that ends the run crashed must have released every
+    // grant (crashAt drops the full resident set).
+    for (std::uint64_t seed : {1u, 9u, 42u, 77u}) {
+        const FaultRun run =
+            runFaultCell(crashyCluster(seed), 1, true);
+        for (std::size_t i = 0; i < run.health.size(); ++i) {
+            if (run.health[i] == cluster::DeviceHealth::Down) {
+                EXPECT_EQ(run.allocatorInUseBytes[i], 0.0)
+                    << "seed " << seed << " dev" << i;
+            }
+        }
+    }
+}
+
+// ---- FaultTrace ---------------------------------------------------------
+
+TEST(FaultTrace, ReaderParsesFaultTaxonomyAndMissCause)
+{
+    const FaultRun run = runFaultCell(crashyCluster(), 1, true);
+    obs::TraceReader reader;
+    ASSERT_TRUE(reader.parse(run.traceJson));
+    EXPECT_EQ(reader.stats().unknown, 0u);
+    EXPECT_EQ(reader.stats().malformed, 0u);
+    EXPECT_GT(reader.deviceFaults, 0u);
+    EXPECT_GT(reader.deviceRecovers, 0u);
+    EXPECT_EQ(reader.faultFailures,
+              static_cast<std::size_t>(
+                  run.report.faults.permanentFailures));
+
+    // The reconstructed lifecycles agree with the engine's outcome
+    // counts, and fault-failed requests classify as device_fault.
+    EXPECT_EQ(reader.completed, run.report.aggregate.summary.completed);
+    EXPECT_EQ(reader.rejected, run.report.aggregate.summary.rejected);
+    if (run.report.faults.permanentFailures > 0) {
+        EXPECT_GE(reader.missCounts[static_cast<std::size_t>(
+                      obs::MissCause::DeviceFault)],
+                  1u);
+        std::size_t faulted = 0;
+        for (const obs::RequestLife &r : reader.requests())
+            if (r.faulted)
+                ++faulted;
+        EXPECT_GT(faulted, 0u);
+    }
+}
+
+// ---- ClientRetry --------------------------------------------------------
+
+TEST(ClientRetry, BudgetRespectedAndArrivalTraceUnchanged)
+{
+    // A pool below the larger task's floor makes that class an
+    // overload reject; client retries resubmit it (futile here, so
+    // the budget must be exactly spent) without touching arrivals.
+    // Budget floors (sink + recent + slack): lambada-tiny 19 tokens,
+    // triviaQa-tiny 35 — a 24-token pool admits one class and
+    // overload-rejects the other.
+    cluster::ClusterConfig base = tinyFaultCluster(1);
+    base.faults.enabled = false;
+    base.engine.poolTokens = 24;
+    for (auto &d : base.devices)
+        d.poolTokens = 24;
+
+    cluster::ClusterConfig plain = base;
+    cluster::ClusterEngine p(plain);
+    const cluster::ClusterReport prep = p.run();
+
+    cluster::ClusterConfig retry = base;
+    retry.engine.clientRetries = 2;
+    retry.engine.clientRetryBackoffSec = 0.01;
+    cluster::ClusterEngine q(retry);
+    const cluster::ClusterReport qrep = q.run();
+
+    ASSERT_GT(prep.aggregate.summary.rejected, 0u);
+    EXPECT_EQ(prep.aggregate.summary.rejected,
+              qrep.aggregate.summary.rejected);
+    EXPECT_EQ(prep.aggregate.summary.completed,
+              qrep.aggregate.summary.completed);
+
+    ASSERT_EQ(p.requests().size(), q.requests().size());
+    for (std::size_t i = 0; i < p.requests().size(); ++i) {
+        // The base arrival trace is byte-identical: retries re-enter
+        // the admission path, they do not append arrivals.
+        EXPECT_EQ(p.requests()[i].arrival.sec(),
+                  q.requests()[i].arrival.sec())
+            << i;
+        EXPECT_EQ(p.requests()[i].id, q.requests()[i].id) << i;
+        const serving::Request &r = q.requests()[i];
+        EXPECT_LE(r.clientRetries, 2u);
+        if (r.state == serving::RequestState::Rejected) {
+            EXPECT_EQ(r.clientRetries, 2u) << i;
+        }
+    }
+}
+
+TEST(ClientRetry, ThreadInvariantUnderFaults)
+{
+    cluster::ClusterConfig cfg = tinyFaultCluster(2, 42);
+    cfg.engine.clientRetries = 2;
+    cfg.engine.clientRetryBackoffSec = 0.005;
+    const FaultRun serial = runFaultCell(cfg, 1, true);
+    for (std::size_t threads : {std::size_t{2}}) {
+        const FaultRun par = runFaultCell(cfg, threads, false);
+        EXPECT_EQ(serial.traceJson, par.traceJson);
+        expectFaultReportsEqual(serial.report.faults,
+                                par.report.faults, "client-retry");
+    }
+}
+
+} // namespace
+} // namespace kelle

@@ -146,6 +146,21 @@ TEST(GoldenDigest, BenchClusterThreadedPreemptMatchesSerialDigest)
                  0x3f3f11f1704caf8cull);
 }
 
+TEST(GoldenDigest, BenchClusterFaultRunMatchesAcrossThreads)
+{
+    // The fault-injection subsystem rides the same byte-exactness
+    // contract: a seeded fault run (crashes, retries, the degradation
+    // ladder, the fault report table) is pinned, and the 4-lane run
+    // must hash to the same digest as the serial one. Faults OFF is
+    // covered by every digest above staying unchanged — the null test.
+    const std::string flags = "--devices 2 --hetero --requests 12 "
+                              "--sweep 0 --study 0 --faults "
+                              "--mtbf 40 --mttr 10";
+    expectDigest("bench/bench_cluster", flags, 0x64c29f80073e442eull);
+    expectDigest("bench/bench_cluster", flags + " --threads 4",
+                 0x64c29f80073e442eull);
+}
+
 TEST(GoldenDigest, EdgeServerDefaultSession)
 {
     expectDigest("examples/edge_server", "", 0x9852bb7d3bac4ca7ull);
@@ -252,6 +267,48 @@ TEST(GoldenDigest, KelleTraceReportOnRecordedTrace)
     const std::uint64_t got = fnv1a64(out.substr(body + 1));
     EXPECT_EQ(got, 0xc4fa211fcb331ae5ull)
         << "kelle_trace report output drifted (got 0x" << std::hex
+        << got << ").\nIf the change is deliberate, re-record from "
+           "`kelle_trace report` on the trace this test writes.";
+    std::remove(trace.c_str());
+}
+
+TEST(GoldenDigest, KelleTraceReportOnFaultTrace)
+{
+    // Offline fault forensics: record a fault run's trace, run
+    // `kelle_trace report` over it, and require the fault taxonomy to
+    // survive the round-trip — a non-empty fault tally line and a
+    // device_fault row in the miss-cause breakdown — plus the usual
+    // byte pinning of the report body.
+    const std::string bench = std::string(KELLE_BIN_DIR) +
+                              "/bench/bench_cluster";
+    const std::string cli = std::string(KELLE_BIN_DIR) +
+                            "/tools/kelle_trace";
+    if (!fileExists(bench) || !fileExists(cli))
+        GTEST_SKIP() << "bench_cluster or kelle_trace not built";
+    const std::string trace =
+        std::string(::testing::TempDir()) + "/kelle_fault_trace.json";
+    std::remove(trace.c_str());
+    int exit_code = 0;
+    std::string out = capture(
+        bench + " --devices 2 --hetero --requests 12 --sweep 0 "
+                "--study 0 --faults --mtbf 40 --mttr 10 "
+                "--trace-out " + trace,
+        &exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    out = capture(cli + " report " + trace, &exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    const std::size_t body = out.find('\n');
+    ASSERT_NE(body, std::string::npos) << out;
+    const std::string report = out.substr(body + 1);
+    EXPECT_NE(report.find("faults: "), std::string::npos) << report;
+    EXPECT_NE(report.find("device faults"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("device_fault"), std::string::npos)
+        << "miss-cause breakdown lost the device_fault rows:\n"
+        << report;
+    const std::uint64_t got = fnv1a64(report);
+    EXPECT_EQ(got, 0xc9977284943c2a91ull)
+        << "kelle_trace fault report drifted (got 0x" << std::hex
         << got << ").\nIf the change is deliberate, re-record from "
            "`kelle_trace report` on the trace this test writes.";
     std::remove(trace.c_str());

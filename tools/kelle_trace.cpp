@@ -102,6 +102,12 @@ printMissCauses(const std::size_t counts[kMissCauseCount],
 {
     Table t({"cause", "requests", "share"});
     for (std::size_t i = 0; i < kMissCauseCount; ++i) {
+        // The device_fault row exists only on fault traces; skipping
+        // it at zero keeps faults-off reports byte-identical to the
+        // pre-fault format.
+        if (static_cast<MissCause>(i) == MissCause::DeviceFault &&
+            counts[i] == 0)
+            continue;
         const double share =
             terminal > 0
                 ? static_cast<double>(counts[i]) /
@@ -125,6 +131,16 @@ cmdReport(const std::string &path)
                 "batch mismatches %zu)\n",
                 st.events, st.unknown, st.malformed,
                 st.batchMismatches);
+    // Fault line only on fault traces: faults-off reports keep the
+    // pre-fault byte layout.
+    if (reader.deviceFaults + reader.deviceRecovers +
+            reader.faultEvictions + reader.faultFailures >
+        0) {
+        std::printf("faults: %zu device faults, %zu recoveries, "
+                    "%zu crash evictions, %zu permanent failures\n",
+                    reader.deviceFaults, reader.deviceRecovers,
+                    reader.faultEvictions, reader.faultFailures);
+    }
     std::printf("requests: %zu terminal (%zu completed, %zu "
                 "rejected), %zu SLO misses\n\n",
                 reader.terminal, reader.completed, reader.rejected,
